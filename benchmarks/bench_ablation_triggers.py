@@ -1,0 +1,74 @@
+"""Ablation — the value of TaskPoint's resampling triggers (extension).
+
+The paper argues (Section III-C, Figure 4) that resampling must be triggered
+when the number of executing threads changes and when a previously unseen
+task type appears, because the samples taken earlier are no longer
+representative.  This ablation quantifies that design choice on benchmarks
+whose parallelism changes over time (reduction, cholesky) and compares three
+controller variants:
+
+* full TaskPoint (both triggers enabled, lazy policy),
+* no thread-change trigger,
+* no triggers at all except the unavoidable empty-history resample.
+
+Expected shape: disabling the triggers increases speedup slightly but
+increases the error on the phase-changing benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from common import HIGH_PERFORMANCE, bench_scale, write_result
+from repro.analysis.accuracy import summarize
+from repro.analysis.reporting import format_table
+from repro.core.config import lazy_config
+
+BENCHMARKS = ("reduction", "cholesky", "kmeans", "bodytrack")
+NUM_THREADS = (8, 32)
+
+VARIANTS = {
+    "full taskpoint": lazy_config(),
+    "no thread-change trigger": replace(lazy_config(), resample_on_thread_change=False),
+    "no triggers": replace(
+        lazy_config(),
+        resample_on_thread_change=False,
+        resample_on_new_task_type=False,
+    ),
+}
+
+
+def _run(cache):
+    rows = []
+    summaries = {}
+    for label, config in VARIANTS.items():
+        results = cache.accuracy_grid(BENCHMARKS, HIGH_PERFORMANCE, NUM_THREADS, config)
+        summary = summarize(results)
+        summaries[label] = summary
+        rows.append(
+            [label, summary.average_error_percent, summary.max_error_percent,
+             summary.average_speedup]
+        )
+    return rows, summaries
+
+
+def test_ablation_resampling_triggers(benchmark, cache):
+    """Quantify the contribution of the correctness resampling triggers."""
+    rows, summaries = benchmark.pedantic(_run, args=(cache,), rounds=1, iterations=1)
+    table = format_table(
+        ["variant", "avg error [%]", "max error [%]", "avg speedup"], rows
+    )
+    text = (
+        "Ablation: resampling triggers (lazy sampling, high-performance architecture, "
+        f"benchmarks={', '.join(BENCHMARKS)}, scale={bench_scale()})\n"
+        f"{table}"
+    )
+    write_result("ablation_triggers", text)
+    print(text)
+    # All variants must still complete with bounded error; the full mechanism
+    # must never be less accurate than the trigger-free variant by more than
+    # noise, and disabling triggers must not reduce speedup.
+    full = summaries["full taskpoint"]
+    bare = summaries["no triggers"]
+    assert full.average_error_percent <= bare.average_error_percent + 1.0
+    assert bare.average_speedup >= 0.9 * full.average_speedup

@@ -1,0 +1,55 @@
+"""Figure 1 — IPC variation across task instances in native execution.
+
+The paper runs the 19 benchmarks natively on an 8-core SandyBridge machine
+and plots, per benchmark, a box plot of the IPC of every task instance
+normalized to its task type's mean IPC.  The key observation: 15 of the 19
+benchmarks stay within +/-5%.
+
+Native hardware is not available here, so the native run is substituted by
+the detailed simulator plus a calibrated system-noise model (see
+``repro.analysis.native``); the regenerated figure reports the same box-plot
+statistics per benchmark.
+"""
+
+from __future__ import annotations
+
+from common import HIGH_PERFORMANCE, all_benchmark_names, bench_scale, bench_seed, write_result
+from repro.analysis.native import NativeExecutionModel, native_execution
+from repro.analysis.reporting import render_variation_report
+from repro.analysis.variation import ipc_variation
+
+NUM_THREADS = 8
+
+
+def _run(cache):
+    reports = {}
+    for name in all_benchmark_names():
+        trace = cache.trace(name)
+        result = native_execution(
+            trace,
+            num_threads=NUM_THREADS,
+            architecture=HIGH_PERFORMANCE,
+            noise=NativeExecutionModel(seed=bench_seed()),
+        )
+        reports[name] = ipc_variation(result)
+    return reports
+
+
+def test_fig01_native_ipc_variation(benchmark, cache):
+    """Regenerate Figure 1 (native-execution substitute, 8 threads)."""
+    reports = benchmark.pedantic(_run, args=(cache,), rounds=1, iterations=1)
+    text = render_variation_report(
+        reports,
+        title=(
+            "Figure 1: IPC variation per task type, native-execution substitute, "
+            f"{NUM_THREADS} threads, scale={bench_scale()}"
+        ),
+    )
+    write_result("fig01_native_variation", text)
+    print(text)
+    within = sum(1 for report in reports.values() if report.within_5_percent)
+    # Paper: 15 of 19 benchmarks within +/-5%; the reproduction should keep a
+    # clear majority within and the known-irregular benchmarks outside.
+    assert within >= 11
+    assert not reports["freqmine"].within_5_percent
+    assert not reports["checkSparseLU"].within_5_percent

@@ -1,0 +1,98 @@
+"""Figure 6 — sensitivity of error and speedup to the model parameters.
+
+The paper determines W, H and P incrementally (Section V-A):
+
+* Figure 6a: warm-up size W in 0..10 with H=10 and P=infinity,
+* Figure 6b: history size H in 1..10 with W=2 and P=infinity,
+* Figure 6c: sampling period P in 10..1000 with W=2 and H=4,
+
+each averaged over the five sensitivity benchmarks and simulations with 32
+and 64 threads.  The reproduction regenerates all three sweeps; the expected
+shape is that error is high without warm-up and flattens out by W=2, that a
+small history is sufficient (larger H mostly costs speedup), and that both
+error and speedup grow with P until periodic sampling degenerates into lazy
+sampling.
+"""
+
+from __future__ import annotations
+
+from common import HIGH_PERFORMANCE, bench_scale, bench_seed, thread_counts, write_result
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import history_sweep, period_sweep, warmup_sweep
+from repro.workloads.registry import SENSITIVITY_SUBSET
+
+WARMUP_VALUES = (0, 1, 2, 4, 6, 8, 10)
+HISTORY_VALUES = (1, 2, 3, 4, 6, 8, 10)
+PERIOD_VALUES = (10, 25, 50, 100, 250, 500, 1000)
+
+
+def _render(points, caption):
+    rows = [
+        [point.value, point.average_error_percent, point.average_speedup, point.experiments]
+        for point in points
+    ]
+    table = format_table(
+        [point.parameter if False else "value", "avg error [%]", "avg speedup", "experiments"],
+        rows,
+    )
+    return f"{caption}\n{table}"
+
+
+def _shared_kwargs(cache):
+    traces = {name: cache.trace(name) for name in SENSITIVITY_SUBSET}
+    return dict(
+        benchmarks=tuple(SENSITIVITY_SUBSET),
+        thread_counts=tuple(thread_counts("sweep")),
+        architecture=HIGH_PERFORMANCE,
+        scale=bench_scale(),
+        seed=bench_seed(),
+        traces=traces,
+    )
+
+
+def test_fig06a_warmup_sweep(benchmark, cache):
+    """Figure 6a: error/speedup versus warm-up interval W (H=10, P=inf)."""
+    points = benchmark.pedantic(
+        warmup_sweep, kwargs=dict(warmup_values=WARMUP_VALUES, **_shared_kwargs(cache)),
+        rounds=1, iterations=1,
+    )
+    text = _render(points, "Figure 6a: sensitivity to warm-up size W (H=10, P=inf)")
+    write_result("fig06a_warmup_sweep", text)
+    print(text)
+    by_value = {point.value: point for point in points}
+    # W=2 should already achieve a small error; more warm-up must not help
+    # much but must cost speedup.
+    assert by_value[2].average_error_percent < 5.0
+    assert by_value[10].average_speedup <= by_value[0].average_speedup
+
+
+def test_fig06b_history_sweep(benchmark, cache):
+    """Figure 6b: error/speedup versus history size H (W=2, P=inf)."""
+    points = benchmark.pedantic(
+        history_sweep, kwargs=dict(history_values=HISTORY_VALUES, **_shared_kwargs(cache)),
+        rounds=1, iterations=1,
+    )
+    text = _render(points, "Figure 6b: sensitivity to history size H (W=2, P=inf)")
+    write_result("fig06b_history_sweep", text)
+    print(text)
+    by_value = {point.value: point for point in points}
+    # A small history is sufficient (paper selects H=4) and larger histories
+    # reduce speedup because more instances must be sampled.
+    assert by_value[4].average_error_percent < 5.0
+    assert by_value[10].average_speedup <= by_value[1].average_speedup
+
+
+def test_fig06c_period_sweep(benchmark, cache):
+    """Figure 6c: error/speedup versus sampling period P (W=2, H=4)."""
+    points = benchmark.pedantic(
+        period_sweep, kwargs=dict(period_values=PERIOD_VALUES, **_shared_kwargs(cache)),
+        rounds=1, iterations=1,
+    )
+    text = _render(points, "Figure 6c: sensitivity to sampling period P (W=2, H=4)")
+    write_result("fig06c_period_sweep", text)
+    print(text)
+    by_value = {point.value: point for point in points}
+    # Speedup grows with the sampling period (more fast-forwarding); error
+    # stays small across the whole range.
+    assert by_value[1000].average_speedup >= by_value[10].average_speedup
+    assert max(point.average_error_percent for point in points) < 8.0

@@ -1,0 +1,52 @@
+"""Figure 7 — periodic sampling on the high-performance architecture.
+
+Execution-time error and simulation speedup of TaskPoint with periodic
+sampling (W=2, H=4, P=250) for all 19 benchmarks simulated with 8, 16, 32
+and 64 threads on the high-performance architecture of Table II.  The paper
+reports an average error below 2% for every thread count, a maximum error of
+8.9% (freqmine, 8 threads) and speedups that decrease with the thread count.
+"""
+
+from __future__ import annotations
+
+from common import (
+    HIGH_PERFORMANCE,
+    all_benchmark_names,
+    bench_scale,
+    thread_counts,
+    write_result,
+)
+from repro.analysis.accuracy import group_by_threads, summarize
+from repro.analysis.reporting import render_accuracy_table
+from repro.core.config import periodic_config
+
+
+def _run(cache):
+    return cache.accuracy_grid(
+        all_benchmark_names(), HIGH_PERFORMANCE, thread_counts("highperf"),
+        periodic_config(),
+    )
+
+
+def test_fig07_periodic_sampling_high_performance(benchmark, cache):
+    """Regenerate Figure 7 (periodic sampling, P=250, high-perf architecture)."""
+    results = benchmark.pedantic(_run, args=(cache,), rounds=1, iterations=1)
+    text = render_accuracy_table(
+        results,
+        title=(
+            "Figure 7: periodic sampling (W=2, H=4, P=250), high-performance "
+            f"architecture, scale={bench_scale()}"
+        ),
+    )
+    write_result("fig07_periodic_highperf", text)
+    print(text)
+    overall = summarize(results)
+    per_threads = group_by_threads(results)
+    # Paper-shape checks: small average error, bounded maximum error and
+    # speedup well above 1 for the smaller thread counts.
+    assert overall.average_error_percent < 5.0
+    assert overall.max_error_percent < 25.0
+    smallest = min(per_threads)
+    largest = max(per_threads)
+    assert per_threads[smallest].average_speedup > 5.0
+    assert per_threads[smallest].average_speedup >= per_threads[largest].average_speedup

@@ -1,0 +1,46 @@
+"""Figure 8 — periodic sampling on the low-power architecture.
+
+The robustness test of the paper: the sampling parameters (W=2, H=4, P=250)
+were chosen on the high-performance architecture and are reused unchanged on
+the radically different low-power configuration, simulated with 1, 2, 4 and
+8 threads.  Error stays small (largest outliers: freqmine and
+sparse-matrix-vector-multiplication) and speedup degrades less with the
+thread count than on the high-performance machine.
+"""
+
+from __future__ import annotations
+
+from common import (
+    LOW_POWER,
+    all_benchmark_names,
+    bench_scale,
+    thread_counts,
+    write_result,
+)
+from repro.analysis.accuracy import summarize
+from repro.analysis.reporting import render_accuracy_table
+from repro.core.config import periodic_config
+
+
+def _run(cache):
+    return cache.accuracy_grid(
+        all_benchmark_names(), LOW_POWER, thread_counts("lowpower"), periodic_config()
+    )
+
+
+def test_fig08_periodic_sampling_low_power(benchmark, cache):
+    """Regenerate Figure 8 (periodic sampling, P=250, low-power architecture)."""
+    results = benchmark.pedantic(_run, args=(cache,), rounds=1, iterations=1)
+    text = render_accuracy_table(
+        results,
+        title=(
+            "Figure 8: periodic sampling (W=2, H=4, P=250), low-power architecture, "
+            f"scale={bench_scale()}"
+        ),
+    )
+    write_result("fig08_periodic_lowpower", text)
+    print(text)
+    overall = summarize(results)
+    assert overall.average_error_percent < 5.0
+    assert overall.max_error_percent < 25.0
+    assert overall.average_speedup > 5.0

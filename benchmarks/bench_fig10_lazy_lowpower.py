@@ -1,0 +1,43 @@
+"""Figure 10 — lazy sampling on the low-power architecture.
+
+The final generalisation check of the paper: lazy sampling with the
+parameters selected on the high-performance architecture, applied to the
+low-power configuration with 1-8 threads.  Error remains small for most
+benchmarks, with dedup showing the largest increase relative to periodic
+sampling (input-dependent compression work).
+"""
+
+from __future__ import annotations
+
+from common import (
+    LOW_POWER,
+    all_benchmark_names,
+    bench_scale,
+    thread_counts,
+    write_result,
+)
+from repro.analysis.accuracy import summarize
+from repro.analysis.reporting import render_accuracy_table
+from repro.core.config import lazy_config
+
+
+def _run(cache):
+    return cache.accuracy_grid(
+        all_benchmark_names(), LOW_POWER, thread_counts("lowpower"), lazy_config()
+    )
+
+
+def test_fig10_lazy_sampling_low_power(benchmark, cache):
+    """Regenerate Figure 10 (lazy sampling, low-power architecture)."""
+    results = benchmark.pedantic(_run, args=(cache,), rounds=1, iterations=1)
+    text = render_accuracy_table(
+        results,
+        title=f"Figure 10: lazy sampling (W=2, H=4, P=inf), low-power architecture, "
+              f"scale={bench_scale()}",
+    )
+    write_result("fig10_lazy_lowpower", text)
+    print(text)
+    overall = summarize(results)
+    assert overall.average_error_percent < 5.0
+    assert overall.max_error_percent < 25.0
+    assert overall.average_speedup > 5.0

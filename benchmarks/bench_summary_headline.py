@@ -1,0 +1,66 @@
+"""Headline summary — the numbers quoted in the abstract and conclusions.
+
+The paper's headline: with 64 simulated threads, lazy sampling accelerates
+architectural simulation by an average factor of 19.1 at an average error of
+1.8% and a maximum error of 15.0%; with 1 thread the average speedup reaches
+1019x.  This harness regenerates the corresponding aggregates from this
+reproduction (at the reduced benchmark scale the absolute speedups are
+smaller, but the ordering — highest speedup at 1 thread, lowest at the
+largest thread count, error always small — must hold).
+"""
+
+from __future__ import annotations
+
+from common import (
+    HIGH_PERFORMANCE,
+    all_benchmark_names,
+    bench_scale,
+    thread_counts,
+    write_result,
+)
+from repro.analysis.accuracy import summarize
+from repro.analysis.reporting import format_table
+from repro.core.config import lazy_config
+
+
+def _run(cache):
+    counts = sorted(set([1] + list(thread_counts("highperf"))))
+    summaries = {}
+    for threads in counts:
+        results = cache.accuracy_grid(
+            all_benchmark_names(), HIGH_PERFORMANCE, [threads], lazy_config()
+        )
+        summaries[threads] = summarize(results)
+    return summaries
+
+
+def test_summary_headline_numbers(benchmark, cache):
+    """Regenerate the abstract's headline error/speedup aggregates."""
+    summaries = benchmark.pedantic(_run, args=(cache,), rounds=1, iterations=1)
+    rows = [
+        [threads, summary.average_error_percent, summary.max_error_percent,
+         summary.average_speedup, summary.max_speedup]
+        for threads, summary in summaries.items()
+    ]
+    table = format_table(
+        ["threads", "avg error [%]", "max error [%]", "avg speedup", "max speedup"], rows
+    )
+    text = (
+        "Headline summary (lazy sampling, high-performance architecture, "
+        f"scale={bench_scale()})\n"
+        f"{table}\n"
+        "paper reference: 64 threads -> avg speedup 19.1 at avg error 1.8% "
+        "(max 15.0%); 1 thread -> avg speedup 1019x"
+    )
+    write_result("summary_headline", text)
+    print(text)
+
+    counts = sorted(summaries)
+    single_thread = summaries[counts[0]]
+    most_threads = summaries[counts[-1]]
+    # Error small everywhere; speedup strictly decreasing from 1 thread to
+    # the largest thread count.
+    assert all(summary.average_error_percent < 5.0 for summary in summaries.values())
+    assert all(summary.max_error_percent < 25.0 for summary in summaries.values())
+    assert single_thread.average_speedup > most_threads.average_speedup
+    assert single_thread.average_speedup > 20.0

@@ -1,0 +1,59 @@
+"""Table II — the simulated architecture configurations.
+
+Regenerates the paper's Table II (architectural parameters of the
+high-performance and low-power configurations) directly from the
+configuration objects, and demonstrates that the two configurations behave
+as expected (the low-power machine is substantially slower on the same
+workload).
+"""
+
+from __future__ import annotations
+
+from common import HIGH_PERFORMANCE, LOW_POWER, write_result
+from repro.analysis.reporting import format_table
+
+
+def _format_cache(level):
+    if level is None:
+        return "none"
+    sharing = "shared" if level.shared else "private"
+    size = level.size_bytes
+    size_text = f"{size // 1024} kB" if size < 1024 * 1024 else f"{size // (1024 * 1024)} MB"
+    return (
+        f"{size_text} {sharing}, {level.latency_cycles} cycles latency, "
+        f"{level.associativity}-way associative"
+    )
+
+
+def _build_table():
+    rows = [
+        ["Reorder-buffer size", HIGH_PERFORMANCE.core.rob_size, LOW_POWER.core.rob_size],
+        ["Issue width", HIGH_PERFORMANCE.core.issue_width, LOW_POWER.core.issue_width],
+        ["Commit rate", HIGH_PERFORMANCE.core.commit_width, LOW_POWER.core.commit_width],
+        ["Cache line size", f"{HIGH_PERFORMANCE.l1.line_bytes} B", f"{LOW_POWER.l1.line_bytes} B"],
+        ["L1 cache", _format_cache(HIGH_PERFORMANCE.l1), _format_cache(LOW_POWER.l1)],
+        ["L2 cache", _format_cache(HIGH_PERFORMANCE.l2), _format_cache(LOW_POWER.l2)],
+        ["L3 cache", _format_cache(HIGH_PERFORMANCE.l3), _format_cache(LOW_POWER.l3)],
+    ]
+    return format_table(["Parameter", "High-perf.", "Low-power"], rows)
+
+
+def test_table2_architecture_parameters(benchmark, cache):
+    """Regenerate Table II and sanity-check the relative performance."""
+    table = benchmark.pedantic(_build_table, rounds=1, iterations=1)
+    high = cache.detailed("vector-operation", HIGH_PERFORMANCE, 4)
+    low = cache.detailed("vector-operation", LOW_POWER, 4)
+    ratio = low.total_cycles / high.total_cycles
+    text = (
+        "Table II reproduction\n"
+        f"{table}\n\n"
+        "behavioural check (vector-operation, 4 threads):\n"
+        f"  high-performance execution time : {high.total_cycles:,.0f} cycles\n"
+        f"  low-power execution time        : {low.total_cycles:,.0f} cycles\n"
+        f"  slowdown of low-power machine   : {ratio:.2f}x"
+    )
+    write_result("table2_architectures", text)
+    print(text)
+    assert HIGH_PERFORMANCE.core.rob_size == 168
+    assert LOW_POWER.core.rob_size == 40
+    assert ratio > 1.5

@@ -1,0 +1,162 @@
+"""Shared infrastructure for the per-figure benchmark harnesses.
+
+Every figure/table of the paper's evaluation has one benchmark module in this
+directory.  They all build on the helpers here:
+
+* experiment parameters come from environment variables so the whole suite
+  can be scaled up or down without editing code
+  (``REPRO_BENCH_SCALE``, ``REPRO_BENCH_SEED``, ``REPRO_BENCH_THREADS_*``),
+* traces and full-detailed baseline simulations are cached per session and
+  shared between figures (Figure 7 and Figure 9 use the same baselines, for
+  instance), and
+* every harness writes its regenerated table to ``benchmarks/results/`` so
+  the numbers quoted in EXPERIMENTS.md can be reproduced by re-running
+  ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.accuracy import AccuracyResult
+from repro.arch.config import (
+    ArchitectureConfig,
+    high_performance_config,
+    low_power_config,
+)
+from repro.core.api import sampled_simulation
+from repro.core.config import TaskPointConfig
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import TaskSimSimulator
+from repro.trace.trace import ApplicationTrace
+from repro.workloads.registry import get_workload, list_workloads
+
+#: Default workload scale for the benchmark harnesses (fraction of the
+#: paper's task-instance counts).  Override with REPRO_BENCH_SCALE.
+DEFAULT_SCALE = 0.08
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    """Workload scale used by the harnesses."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+
+
+def bench_seed() -> int:
+    """Trace-generation seed used by the harnesses."""
+    return int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+def thread_counts(kind: str) -> List[int]:
+    """Thread counts for ``kind`` in {"highperf", "lowpower", "sweep"}.
+
+    Defaults follow the paper: 8-64 threads for the high-performance
+    architecture, 1-8 for the low-power one, 32/64 for the sensitivity
+    sweeps.  Override with REPRO_BENCH_THREADS_HIGHPERF etc. (comma lists).
+    """
+    defaults = {
+        "highperf": "8,16,32,64",
+        "lowpower": "1,2,4,8",
+        "sweep": "32,64",
+    }
+    env_key = f"REPRO_BENCH_THREADS_{kind.upper()}"
+    raw = os.environ.get(env_key, defaults[kind])
+    return [int(part) for part in raw.split(",") if part]
+
+
+def all_benchmark_names() -> List[str]:
+    """Benchmarks included in the harnesses (all 19 unless overridden)."""
+    raw = os.environ.get("REPRO_BENCH_WORKLOADS")
+    if raw:
+        return [part for part in raw.split(",") if part]
+    return list_workloads()
+
+
+def write_result(name: str, text: str) -> Path:
+    """Write a regenerated table/figure to ``benchmarks/results/<name>.txt``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+class ExperimentCache:
+    """Caches traces and detailed baseline simulations across harnesses."""
+
+    def __init__(self) -> None:
+        self._traces: Dict[Tuple[str, float, int], ApplicationTrace] = {}
+        self._detailed: Dict[Tuple[str, str, int, float, int], SimulationResult] = {}
+
+    # ------------------------------------------------------------------
+    def trace(self, benchmark: str, scale: Optional[float] = None,
+              seed: Optional[int] = None) -> ApplicationTrace:
+        """Return (generating once) the trace of ``benchmark``."""
+        scale = bench_scale() if scale is None else scale
+        seed = bench_seed() if seed is None else seed
+        key = (benchmark, scale, seed)
+        if key not in self._traces:
+            self._traces[key] = get_workload(benchmark).generate(scale=scale, seed=seed)
+        return self._traces[key]
+
+    def detailed(self, benchmark: str, architecture: ArchitectureConfig,
+                 num_threads: int) -> SimulationResult:
+        """Return (simulating once) the full detailed baseline result."""
+        key = (benchmark, architecture.name, num_threads, bench_scale(), bench_seed())
+        if key not in self._detailed:
+            simulator = TaskSimSimulator(architecture=architecture)
+            self._detailed[key] = simulator.run(
+                self.trace(benchmark), num_threads=num_threads
+            )
+        return self._detailed[key]
+
+    # ------------------------------------------------------------------
+    def accuracy(
+        self,
+        benchmark: str,
+        architecture: ArchitectureConfig,
+        num_threads: int,
+        config: TaskPointConfig,
+    ) -> AccuracyResult:
+        """Sampled-versus-detailed comparison reusing the cached baseline."""
+        detailed = self.detailed(benchmark, architecture, num_threads)
+        sampled = sampled_simulation(
+            self.trace(benchmark),
+            num_threads=num_threads,
+            architecture=architecture,
+            config=config,
+        )
+        taskpoint = sampled.metadata["taskpoint"]
+        return AccuracyResult(
+            benchmark=benchmark,
+            architecture=architecture.name,
+            num_threads=num_threads,
+            error_percent=sampled.error_versus(detailed) * 100.0,
+            speedup=sampled.speedup_versus(detailed),
+            wall_speedup=sampled.wall_speedup_versus(detailed),
+            detailed_cycles=detailed.total_cycles,
+            sampled_cycles=sampled.total_cycles,
+            detailed_fraction=sampled.cost.detailed_fraction,
+            resamples=taskpoint.resamples,
+        )
+
+    def accuracy_grid(
+        self,
+        benchmarks: Sequence[str],
+        architecture: ArchitectureConfig,
+        threads: Sequence[int],
+        config: TaskPointConfig,
+    ) -> List[AccuracyResult]:
+        """Accuracy results for every (benchmark, thread-count) pair."""
+        results = []
+        for name in benchmarks:
+            for count in threads:
+                results.append(self.accuracy(name, architecture, count, config))
+        return results
+
+
+#: Architectures used throughout the harnesses.
+HIGH_PERFORMANCE = high_performance_config()
+LOW_POWER = low_power_config()

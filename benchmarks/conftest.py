@@ -1,0 +1,23 @@
+"""Session-scoped fixtures shared by all figure/table harnesses."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import ExperimentCache  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def cache() -> ExperimentCache:
+    """One experiment cache for the whole benchmark session.
+
+    Detailed baseline simulations are the expensive part of every figure;
+    caching them lets Figures 7/9 (and 8/10) share identical baselines, just
+    as the paper evaluates both policies against the same detailed runs.
+    """
+    return ExperimentCache()

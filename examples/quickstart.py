@@ -1,0 +1,70 @@
+"""Quickstart: sampled simulation of one task-based benchmark.
+
+This example walks through the core TaskPoint workflow:
+
+1. generate a task-based application trace (the cholesky benchmark),
+2. run a full detailed simulation of it on the high-performance architecture,
+3. run a TaskPoint-sampled simulation of the same workload, and
+4. compare predicted execution time and simulation cost.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    compare_with_detailed,
+    get_workload,
+    high_performance_config,
+    periodic_config,
+)
+
+
+def main() -> None:
+    # 1. Generate the workload trace.  ``scale`` shrinks the paper's 19,600
+    #    task instances to a laptop-friendly size; the task structure
+    #    (4 task types, wavefront dependencies) is preserved.
+    workload = get_workload("cholesky")
+    trace = workload.generate(scale=0.05, seed=1)
+    stats = trace.statistics()
+    print(f"benchmark              : {trace.name}")
+    print(f"task types             : {stats.num_task_types} {trace.task_types}")
+    print(f"task instances         : {stats.num_task_instances}")
+    print(f"dynamic instructions   : {stats.total_instructions:,}")
+    print(f"critical path length   : {trace.critical_path_length()} instances")
+    print()
+
+    # 2.-4. Full detailed simulation versus TaskPoint periodic sampling
+    #       (W=2, H=4, P=250 -- the paper's parameters).
+    comparison = compare_with_detailed(
+        trace,
+        num_threads=8,
+        architecture=high_performance_config(),
+        config=periodic_config(),
+    )
+    detailed = comparison.detailed
+    sampled = comparison.sampled
+    taskpoint = comparison.taskpoint_stats
+
+    print("full detailed simulation")
+    print(f"  predicted execution time : {detailed.total_cycles:,.0f} cycles")
+    print(f"  simulation cost          : {detailed.cost.total_units:,.0f} units")
+    print()
+    print("TaskPoint sampled simulation (periodic, P=250)")
+    print(f"  predicted execution time : {sampled.total_cycles:,.0f} cycles")
+    print(f"  simulation cost          : {sampled.cost.total_units:,.0f} units")
+    print(f"  warm-up instances        : {taskpoint.warmup_instances}")
+    print(f"  valid samples            : {taskpoint.valid_samples}")
+    print(f"  fast-forwarded instances : {taskpoint.fast_forwarded}")
+    print(f"  resampling intervals     : {taskpoint.resamples}")
+    print()
+    print(f"execution-time error : {comparison.error_percent:.2f} %")
+    print(f"simulation speedup   : {comparison.speedup:.1f}x")
+    if comparison.wall_speedup:
+        print(f"wall-clock speedup   : {comparison.wall_speedup:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

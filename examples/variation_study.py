@@ -1,0 +1,70 @@
+"""Per-task-type IPC variation study (Figures 1 and 5 in miniature).
+
+The paper motivates TaskPoint with the observation that the IPC of task
+instances is regular within a task type: box plots of per-instance IPC,
+normalized to each type's mean, stay within roughly +/-5% for 15 of the 19
+benchmarks, in native execution as well as in detailed simulation.
+
+This example reproduces that analysis for a subset of benchmarks: it runs
+the native-execution substitute (detailed simulation plus a system-noise
+model) and the plain detailed simulation, prints the box-plot statistics of
+both and reports whether the +/-5% classification agrees.
+
+Run with::
+
+    python examples/variation_study.py
+"""
+
+from __future__ import annotations
+
+from repro import get_workload
+from repro.analysis.native import NativeExecutionModel, native_execution
+from repro.analysis.reporting import render_variation_report
+from repro.analysis.variation import classification_agreement, ipc_variation
+from repro.sim.simulator import simulate
+
+BENCHMARKS = (
+    "2d-convolution",
+    "dense-matrix-multiplication",
+    "canneal",
+    "checkSparseLU",
+    "dedup",
+    "freqmine",
+)
+NUM_THREADS = 8
+SCALE = 0.03
+
+
+def main() -> None:
+    native_reports = {}
+    simulated_reports = {}
+    for name in BENCHMARKS:
+        trace = get_workload(name).generate(scale=SCALE, seed=11)
+        native_result = native_execution(
+            trace,
+            num_threads=NUM_THREADS,
+            noise=NativeExecutionModel(seed=11),
+        )
+        simulated_result = simulate(trace, num_threads=NUM_THREADS)
+        native_reports[name] = ipc_variation(native_result)
+        simulated_reports[name] = ipc_variation(simulated_result)
+
+    print(render_variation_report(
+        native_reports,
+        title=f"IPC variation, native-execution substitute, {NUM_THREADS} threads (Fig. 1)",
+    ))
+    print()
+    print(render_variation_report(
+        simulated_reports,
+        title=f"IPC variation, detailed simulation, {NUM_THREADS} threads (Fig. 5)",
+    ))
+    print()
+    agreement = classification_agreement(native_reports, simulated_reports)
+    print(
+        f"+/-5% classification agreement between native and simulation: "
+        f"{agreement * len(BENCHMARKS):.0f} of {len(BENCHMARKS)} benchmarks"
+    )
+
+
+if __name__ == "__main__":
+    main()

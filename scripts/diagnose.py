@@ -1,0 +1,32 @@
+"""Development diagnostic: landscape of variation, error and speedup.
+
+Not part of the library; used while calibrating the workload models against
+the paper's qualitative results.
+"""
+
+import sys
+import time
+
+from repro import get_workload, list_workloads, lazy_config, periodic_config
+from repro.analysis.accuracy import evaluate_benchmark
+from repro.analysis.variation import ipc_variation
+from repro.sim.simulator import simulate
+
+SCALE = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+THREADS = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+NAMES = sys.argv[3].split(",") if len(sys.argv) > 3 else list_workloads()
+
+print(f"scale={SCALE} threads={THREADS}")
+print(f"{'benchmark':38s} {'n':>5s} {'p5':>6s} {'p95':>6s} {'ipc':>5s} "
+      f"{'errP':>6s} {'spdP':>6s} {'errL':>6s} {'spdL':>6s} {'res':>4s} {'sec':>5s}")
+for name in NAMES:
+    t0 = time.time()
+    trace = get_workload(name).generate(scale=SCALE, seed=1)
+    detailed = simulate(trace, num_threads=THREADS)
+    var = ipc_variation(detailed)
+    per = evaluate_benchmark(trace, THREADS, config=periodic_config())
+    lazy = evaluate_benchmark(trace, THREADS, config=lazy_config())
+    print(f"{name:38s} {len(trace):5d} {var.box.percentile_5:6.1f} {var.box.percentile_95:6.1f} "
+          f"{detailed.average_ipc()/THREADS:5.2f} "
+          f"{per.error_percent:6.2f} {per.speedup:6.1f} "
+          f"{lazy.error_percent:6.2f} {lazy.speedup:6.1f} {per.resamples:4d} {time.time()-t0:5.1f}")

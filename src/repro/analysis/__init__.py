@@ -1,0 +1,57 @@
+"""Analysis and evaluation tooling.
+
+This package contains everything needed to regenerate the paper's evaluation:
+
+* :mod:`repro.analysis.variation` — per-task-type IPC variation statistics
+  (the box plots of Figures 1 and 5),
+* :mod:`repro.analysis.native` — the native-execution substitute (detailed
+  simulation plus a calibrated system-noise model),
+* :mod:`repro.analysis.accuracy` — execution-time error and simulation
+  speedup of sampled versus detailed simulation (Figures 7-10),
+* :mod:`repro.analysis.sweep` — parameter sensitivity sweeps over W, H and P
+  (Figure 6),
+* :mod:`repro.analysis.reporting` — plain-text rendering of the tables and
+  figure data series.
+"""
+
+from repro.analysis.variation import (
+    BoxPlotStats,
+    TypeVariation,
+    VariationReport,
+    ipc_variation,
+)
+from repro.analysis.native import NativeExecutionModel, native_execution
+from repro.analysis.accuracy import (
+    AccuracyResult,
+    AccuracySummary,
+    evaluate_benchmark,
+    evaluate_grid,
+    summarize,
+)
+from repro.analysis.sweep import SweepPoint, history_sweep, period_sweep, warmup_sweep
+from repro.analysis.reporting import format_table, render_accuracy_table, render_variation_report
+from repro.analysis.export import export_accuracy, export_sweep, export_variation
+
+__all__ = [
+    "BoxPlotStats",
+    "TypeVariation",
+    "VariationReport",
+    "ipc_variation",
+    "NativeExecutionModel",
+    "native_execution",
+    "AccuracyResult",
+    "AccuracySummary",
+    "evaluate_benchmark",
+    "evaluate_grid",
+    "summarize",
+    "SweepPoint",
+    "warmup_sweep",
+    "history_sweep",
+    "period_sweep",
+    "format_table",
+    "render_accuracy_table",
+    "render_variation_report",
+    "export_accuracy",
+    "export_sweep",
+    "export_variation",
+]

@@ -1,0 +1,151 @@
+"""Execution-time error and simulation speedup (Figures 7-10, summary).
+
+The paper's accuracy metric is the absolute relative difference between the
+execution time predicted by the sampled simulation and the execution time of
+a full detailed simulation of the same workload, architecture and thread
+count; its performance metric is the simulation speedup of the sampled run
+over the detailed run.  This module runs those experiment pairs and
+aggregates them into per-figure data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.arch.config import ArchitectureConfig
+from repro.core.api import compare_with_detailed
+from repro.core.config import TaskPointConfig
+from repro.trace.trace import ApplicationTrace
+from repro.workloads.registry import get_workload
+
+
+@dataclass(frozen=True)
+class AccuracyResult:
+    """Error/speedup of one (benchmark, architecture, threads) experiment."""
+
+    benchmark: str
+    architecture: str
+    num_threads: int
+    error_percent: float
+    speedup: float
+    wall_speedup: Optional[float]
+    detailed_cycles: float
+    sampled_cycles: float
+    detailed_fraction: float
+    resamples: int
+
+
+@dataclass(frozen=True)
+class AccuracySummary:
+    """Aggregate over a set of accuracy results (one figure's 'average' bar)."""
+
+    average_error_percent: float
+    max_error_percent: float
+    average_speedup: float
+    min_speedup: float
+    max_speedup: float
+    count: int
+
+
+def evaluate_benchmark(
+    trace: ApplicationTrace,
+    num_threads: int,
+    architecture: Optional[ArchitectureConfig] = None,
+    config: Optional[TaskPointConfig] = None,
+    scheduler_seed: int = 0,
+) -> AccuracyResult:
+    """Run the detailed-versus-sampled comparison for one experiment point."""
+    comparison = compare_with_detailed(
+        trace,
+        num_threads=num_threads,
+        architecture=architecture,
+        config=config,
+        scheduler_seed=scheduler_seed,
+    )
+    return AccuracyResult(
+        benchmark=comparison.benchmark,
+        architecture=comparison.architecture,
+        num_threads=num_threads,
+        error_percent=comparison.error_percent,
+        speedup=comparison.speedup,
+        wall_speedup=comparison.wall_speedup,
+        detailed_cycles=comparison.detailed.total_cycles,
+        sampled_cycles=comparison.sampled.total_cycles,
+        detailed_fraction=comparison.sampled.cost.detailed_fraction,
+        resamples=comparison.taskpoint_stats.resamples,
+    )
+
+
+def evaluate_grid(
+    benchmarks: Sequence[str],
+    thread_counts: Sequence[int],
+    architecture: Optional[ArchitectureConfig] = None,
+    config: Optional[TaskPointConfig] = None,
+    scale: float = 0.08,
+    seed: int = 1,
+    traces: Optional[Dict[str, ApplicationTrace]] = None,
+) -> List[AccuracyResult]:
+    """Evaluate every (benchmark, thread count) pair of one figure.
+
+    Parameters
+    ----------
+    benchmarks:
+        Benchmark names (Table I names).
+    thread_counts:
+        Simulated thread counts (e.g. ``[8, 16, 32, 64]`` for Figure 7).
+    architecture:
+        Architecture configuration; defaults to the high-performance one.
+    config:
+        TaskPoint configuration (periodic P=250 or lazy).
+    scale:
+        Workload scale passed to the generators (fraction of Table I's
+        instance counts).
+    seed:
+        Trace-generation seed.
+    traces:
+        Pre-generated traces keyed by benchmark name; generated on demand
+        when missing (useful to share trace generation across figures).
+    """
+    results: List[AccuracyResult] = []
+    traces = dict(traces) if traces else {}
+    for name in benchmarks:
+        trace = traces.get(name)
+        if trace is None:
+            trace = get_workload(name).generate(scale=scale, seed=seed)
+            traces[name] = trace
+        for threads in thread_counts:
+            results.append(
+                evaluate_benchmark(
+                    trace,
+                    num_threads=threads,
+                    architecture=architecture,
+                    config=config,
+                )
+            )
+    return results
+
+
+def summarize(results: Iterable[AccuracyResult]) -> AccuracySummary:
+    """Aggregate a set of accuracy results into the figure-level summary."""
+    results = list(results)
+    if not results:
+        raise ValueError("cannot summarise an empty result set")
+    errors = [result.error_percent for result in results]
+    speedups = [result.speedup for result in results]
+    return AccuracySummary(
+        average_error_percent=sum(errors) / len(errors),
+        max_error_percent=max(errors),
+        average_speedup=sum(speedups) / len(speedups),
+        min_speedup=min(speedups),
+        max_speedup=max(speedups),
+        count=len(results),
+    )
+
+
+def group_by_threads(results: Iterable[AccuracyResult]) -> Dict[int, AccuracySummary]:
+    """Summaries keyed by thread count (the per-colour averages of Fig. 7-10)."""
+    buckets: Dict[int, List[AccuracyResult]] = {}
+    for result in results:
+        buckets.setdefault(result.num_threads, []).append(result)
+    return {threads: summarize(bucket) for threads, bucket in sorted(buckets.items())}

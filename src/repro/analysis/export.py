@@ -1,0 +1,122 @@
+"""Export of experiment results to CSV and JSON.
+
+The benchmark harnesses print plain-text tables; for downstream plotting
+(matplotlib, pandas, gnuplot) it is more convenient to have the raw data.
+This module serialises the analysis objects — accuracy results, parameter
+sweeps and IPC-variation reports — to CSV or JSON files without requiring
+any third-party dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+from repro.analysis.accuracy import AccuracyResult
+from repro.analysis.sweep import SweepPoint
+from repro.analysis.variation import VariationReport
+
+PathLike = Union[str, Path]
+
+
+def accuracy_rows(results: Iterable[AccuracyResult]) -> List[Dict[str, object]]:
+    """Flatten accuracy results into serialisable dictionaries."""
+    return [
+        {
+            "benchmark": result.benchmark,
+            "architecture": result.architecture,
+            "threads": result.num_threads,
+            "error_percent": result.error_percent,
+            "speedup": result.speedup,
+            "wall_speedup": result.wall_speedup,
+            "detailed_cycles": result.detailed_cycles,
+            "sampled_cycles": result.sampled_cycles,
+            "detailed_fraction": result.detailed_fraction,
+            "resamples": result.resamples,
+        }
+        for result in results
+    ]
+
+
+def sweep_rows(points: Iterable[SweepPoint]) -> List[Dict[str, object]]:
+    """Flatten sweep points into serialisable dictionaries."""
+    return [
+        {
+            "parameter": point.parameter,
+            "value": point.value,
+            "average_error_percent": point.average_error_percent,
+            "average_speedup": point.average_speedup,
+            "experiments": point.experiments,
+        }
+        for point in points
+    ]
+
+
+def variation_rows(reports: Dict[str, VariationReport]) -> List[Dict[str, object]]:
+    """Flatten variation reports (one row per benchmark) for export."""
+    rows = []
+    for name, report in reports.items():
+        box = report.box
+        rows.append(
+            {
+                "benchmark": name,
+                "threads": report.num_threads,
+                "instances": box.count,
+                "p5": box.percentile_5,
+                "q1": box.quartile_1,
+                "median": box.median,
+                "q3": box.quartile_3,
+                "p95": box.percentile_95,
+                "within_5_percent": report.within_5_percent,
+            }
+        )
+    return rows
+
+
+def write_csv(rows: Sequence[Dict[str, object]], path: PathLike) -> Path:
+    """Write dictionaries to ``path`` as CSV (header from the first row)."""
+    if not rows:
+        raise ValueError("cannot export an empty row set")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_json(rows: Sequence[Dict[str, object]], path: PathLike) -> Path:
+    """Write dictionaries to ``path`` as a JSON array."""
+    if not rows:
+        raise ValueError("cannot export an empty row set")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(list(rows), indent=2), encoding="utf-8")
+    return path
+
+
+def export_accuracy(results: Iterable[AccuracyResult], path: PathLike) -> Path:
+    """Export accuracy results; format chosen from the file suffix."""
+    rows = accuracy_rows(results)
+    if str(path).endswith(".json"):
+        return write_json(rows, path)
+    return write_csv(rows, path)
+
+
+def export_sweep(points: Iterable[SweepPoint], path: PathLike) -> Path:
+    """Export sweep points; format chosen from the file suffix."""
+    rows = sweep_rows(points)
+    if str(path).endswith(".json"):
+        return write_json(rows, path)
+    return write_csv(rows, path)
+
+
+def export_variation(reports: Dict[str, VariationReport], path: PathLike) -> Path:
+    """Export variation reports; format chosen from the file suffix."""
+    rows = variation_rows(reports)
+    if str(path).endswith(".json"):
+        return write_json(rows, path)
+    return write_csv(rows, path)

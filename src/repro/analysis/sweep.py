@@ -1,0 +1,140 @@
+"""Parameter sensitivity sweeps (Figure 6).
+
+The paper determines the TaskPoint model parameters incrementally: first the
+warm-up interval W (with H=10 and P=∞), then the history size H (with W=2 and
+P=∞), then the sampling period P (with W=2 and H=4).  Each sweep reports
+error and speedup averaged over the sensitivity benchmark subset and over
+simulations with 32 and 64 threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.accuracy import evaluate_benchmark
+from repro.arch.config import ArchitectureConfig
+from repro.core.config import TaskPointConfig
+from repro.trace.trace import ApplicationTrace
+from repro.workloads.registry import SENSITIVITY_SUBSET, get_workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Average error/speedup of one parameter value."""
+
+    parameter: str
+    value: object
+    average_error_percent: float
+    average_speedup: float
+    experiments: int
+
+
+def _traces_for(
+    benchmarks: Sequence[str], scale: float, seed: int,
+    traces: Optional[Dict[str, ApplicationTrace]] = None,
+) -> Dict[str, ApplicationTrace]:
+    prepared = dict(traces) if traces else {}
+    for name in benchmarks:
+        if name not in prepared:
+            prepared[name] = get_workload(name).generate(scale=scale, seed=seed)
+    return prepared
+
+
+def _sweep(
+    parameter: str,
+    configs: Sequence[tuple],
+    benchmarks: Sequence[str],
+    thread_counts: Sequence[int],
+    architecture: Optional[ArchitectureConfig],
+    scale: float,
+    seed: int,
+    traces: Optional[Dict[str, ApplicationTrace]],
+) -> List[SweepPoint]:
+    prepared = _traces_for(benchmarks, scale, seed, traces)
+    points: List[SweepPoint] = []
+    for value, config in configs:
+        errors: List[float] = []
+        speedups: List[float] = []
+        for name in benchmarks:
+            for threads in thread_counts:
+                result = evaluate_benchmark(
+                    prepared[name],
+                    num_threads=threads,
+                    architecture=architecture,
+                    config=config,
+                )
+                errors.append(result.error_percent)
+                speedups.append(result.speedup)
+        points.append(
+            SweepPoint(
+                parameter=parameter,
+                value=value,
+                average_error_percent=sum(errors) / len(errors),
+                average_speedup=sum(speedups) / len(speedups),
+                experiments=len(errors),
+            )
+        )
+    return points
+
+
+def warmup_sweep(
+    warmup_values: Sequence[int] = (0, 1, 2, 4, 6, 8, 10),
+    benchmarks: Sequence[str] = tuple(SENSITIVITY_SUBSET),
+    thread_counts: Sequence[int] = (32, 64),
+    architecture: Optional[ArchitectureConfig] = None,
+    history_size: int = 10,
+    scale: float = 0.08,
+    seed: int = 1,
+    traces: Optional[Dict[str, ApplicationTrace]] = None,
+) -> List[SweepPoint]:
+    """Figure 6a: error/speedup for different warm-up sizes W (H=10, P=∞)."""
+    configs = [
+        (w, TaskPointConfig(warmup_instances=w, history_size=history_size, sampling_period=None))
+        for w in warmup_values
+    ]
+    return _sweep("W", configs, benchmarks, thread_counts, architecture, scale, seed, traces)
+
+
+def history_sweep(
+    history_values: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+    benchmarks: Sequence[str] = tuple(SENSITIVITY_SUBSET),
+    thread_counts: Sequence[int] = (32, 64),
+    architecture: Optional[ArchitectureConfig] = None,
+    warmup_instances: int = 2,
+    scale: float = 0.08,
+    seed: int = 1,
+    traces: Optional[Dict[str, ApplicationTrace]] = None,
+) -> List[SweepPoint]:
+    """Figure 6b: error/speedup for different history sizes H (W=2, P=∞)."""
+    configs = [
+        (h, TaskPointConfig(warmup_instances=warmup_instances, history_size=h, sampling_period=None))
+        for h in history_values
+    ]
+    return _sweep("H", configs, benchmarks, thread_counts, architecture, scale, seed, traces)
+
+
+def period_sweep(
+    period_values: Sequence[int] = (10, 25, 50, 100, 250, 500, 1000),
+    benchmarks: Sequence[str] = tuple(SENSITIVITY_SUBSET),
+    thread_counts: Sequence[int] = (32, 64),
+    architecture: Optional[ArchitectureConfig] = None,
+    warmup_instances: int = 2,
+    history_size: int = 4,
+    scale: float = 0.08,
+    seed: int = 1,
+    traces: Optional[Dict[str, ApplicationTrace]] = None,
+) -> List[SweepPoint]:
+    """Figure 6c: error/speedup for different sampling periods P (W=2, H=4)."""
+    configs = [
+        (
+            p,
+            TaskPointConfig(
+                warmup_instances=warmup_instances,
+                history_size=history_size,
+                sampling_period=p,
+            ),
+        )
+        for p in period_values
+    ]
+    return _sweep("P", configs, benchmarks, thread_counts, architecture, scale, seed, traces)

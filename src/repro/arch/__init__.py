@@ -1,0 +1,45 @@
+"""Architecture models: cores, caches, interconnect and DRAM.
+
+This package provides the micro-architectural substrate of the TaskSim-style
+simulator: a set-associative cache model, per-core cache hierarchies with
+shared last-level caches, a bandwidth-limited DRAM model, a contended
+interconnect and an analytical ROB-occupancy core model in the spirit of
+Lee et al. (ISPASS 2009), which is the detailed CPU model TaskSim uses.
+
+The two architecture configurations evaluated in the paper (Table II) are
+available as :func:`repro.arch.config.high_performance_config` and
+:func:`repro.arch.config.low_power_config`.
+"""
+
+from repro.arch.config import (
+    ArchitectureConfig,
+    CacheConfig,
+    CoreConfig,
+    MemoryConfig,
+    high_performance_config,
+    low_power_config,
+)
+from repro.arch.cache import Cache, CacheStatistics
+from repro.arch.hierarchy import CacheHierarchy, MemorySystem
+from repro.arch.dram import DramModel
+from repro.arch.interconnect import Interconnect
+from repro.arch.rob import RobModel
+from repro.arch.core import DetailedCoreModel, InstanceExecution
+
+__all__ = [
+    "ArchitectureConfig",
+    "CacheConfig",
+    "CoreConfig",
+    "MemoryConfig",
+    "high_performance_config",
+    "low_power_config",
+    "Cache",
+    "CacheStatistics",
+    "CacheHierarchy",
+    "MemorySystem",
+    "DramModel",
+    "Interconnect",
+    "RobModel",
+    "DetailedCoreModel",
+    "InstanceExecution",
+]

@@ -1,0 +1,172 @@
+"""Set-associative cache model with LRU replacement.
+
+The cache model tracks tag state only (no data), which is all a performance
+simulator needs.  It supports shared caches (a single instance accessed by
+all cores), invalidation of lines written by other cores, and statistics
+sufficient to explain detailed-mode IPC: hits, misses, evictions and
+invalidations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.arch.config import CacheConfig
+
+
+@dataclass
+class CacheStatistics:
+    """Hit/miss counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total number of accesses."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit rate in [0, 1]; 0 if the cache was never accessed."""
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss rate in [0, 1]; 0 if the cache was never accessed."""
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.writebacks = 0
+
+
+@dataclass
+class _Line:
+    """State of one cached line."""
+
+    dirty: bool = False
+    owner: Optional[int] = None
+
+
+class Cache:
+    """A set-associative cache with true-LRU replacement.
+
+    Parameters
+    ----------
+    config:
+        Structural configuration of the cache.
+    name:
+        Human-readable name used in statistics dumps (``"L1"``, ``"L2"`` ...).
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.stats = CacheStatistics()
+        # One ordered dict per set: maps line tag -> _Line, LRU order.
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(config.num_sets)]
+
+    # ------------------------------------------------------------------
+    def _locate(self, address: int) -> tuple:
+        line_number = address // self.config.line_bytes
+        set_index = line_number % self.config.num_sets
+        tag = line_number // self.config.num_sets
+        return set_index, tag
+
+    def line_address(self, address: int) -> int:
+        """Return the address of the cache line containing ``address``."""
+        return address - (address % self.config.line_bytes)
+
+    # ------------------------------------------------------------------
+    def access(self, address: int, is_write: bool = False, requester: Optional[int] = None) -> bool:
+        """Access ``address``; return ``True`` on hit, ``False`` on miss.
+
+        A miss allocates the line (possibly evicting the LRU line of the set).
+        ``requester`` identifies the core performing the access; for shared
+        caches it is recorded as the line owner so later invalidation
+        decisions can distinguish local from remote writers.
+        """
+        set_index, tag = self._locate(address)
+        lines = self._sets[set_index]
+        if tag in lines:
+            self.stats.hits += 1
+            line = lines.pop(tag)
+            if is_write:
+                line.dirty = True
+                line.owner = requester
+            lines[tag] = line
+            return True
+        self.stats.misses += 1
+        self._allocate(set_index, tag, is_write, requester)
+        return False
+
+    def probe(self, address: int) -> bool:
+        """Return ``True`` if ``address`` is present, without changing state."""
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+    def _allocate(self, set_index: int, tag: int, is_write: bool, requester: Optional[int]) -> None:
+        lines = self._sets[set_index]
+        if len(lines) >= self.config.associativity:
+            _, victim = lines.popitem(last=False)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.writebacks += 1
+        lines[tag] = _Line(dirty=is_write, owner=requester)
+
+    def invalidate(self, address: int) -> bool:
+        """Invalidate the line containing ``address`` if present.
+
+        Returns ``True`` if a line was invalidated.  Used to model remote
+        writes to shared data invalidating copies in other cores' private
+        caches.
+        """
+        set_index, tag = self._locate(address)
+        lines = self._sets[set_index]
+        if tag in lines:
+            line = lines.pop(tag)
+            self.stats.invalidations += 1
+            if line.dirty:
+                self.stats.writebacks += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> float:
+        """Fraction of lines currently valid, in [0, 1]."""
+        used = sum(len(lines) for lines in self._sets)
+        capacity = self.config.num_sets * self.config.associativity
+        return used / capacity if capacity else 0.0
+
+    def flush(self) -> None:
+        """Invalidate the entire cache contents (statistics are preserved)."""
+        for lines in self._sets:
+            lines.clear()
+
+    def reset_statistics(self) -> None:
+        """Zero the statistics counters, keeping cache contents."""
+        self.stats.reset()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Return a summary dictionary for reporting."""
+        return {
+            "name": self.name,
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "hit_rate": self.stats.hit_rate,
+            "evictions": self.stats.evictions,
+            "invalidations": self.stats.invalidations,
+            "occupancy": self.occupancy(),
+        }

@@ -1,0 +1,54 @@
+"""On-chip interconnect model.
+
+Requests that miss in a private cache traverse the interconnect to the shared
+last-level cache (or memory controller).  The model charges a base hop latency
+plus a contention term that grows with the number of concurrently active
+cores, mirroring the behaviour of a shared bus or a small crossbar under load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import MemoryConfig
+
+
+@dataclass
+class InterconnectStatistics:
+    """Aggregate counters of the interconnect model."""
+
+    transfers: int = 0
+    total_latency: float = 0.0
+
+    @property
+    def average_latency(self) -> float:
+        """Mean latency per transfer in cycles (0 when idle)."""
+        return self.total_latency / self.transfers if self.transfers else 0.0
+
+
+class Interconnect:
+    """Shared interconnect with linear contention in active cores."""
+
+    def __init__(self, config: MemoryConfig) -> None:
+        self.config = config
+        self.stats = InterconnectStatistics()
+
+    def transfer_latency(self, active_cores: int = 1) -> float:
+        """Return the latency in cycles of one line transfer.
+
+        The contention term is linear in the number of *other* active cores,
+        scaled by ``interconnect_contention_per_core`` from the memory
+        configuration.
+        """
+        if active_cores < 1:
+            active_cores = 1
+        base = float(self.config.interconnect_latency_cycles)
+        contention = self.config.interconnect_contention_per_core * (active_cores - 1)
+        latency = base + contention
+        self.stats.transfers += 1
+        self.stats.total_latency += latency
+        return latency
+
+    def reset_statistics(self) -> None:
+        """Zero the statistics counters."""
+        self.stats = InterconnectStatistics()

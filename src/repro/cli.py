@@ -1,0 +1,174 @@
+"""Command-line interface for the TaskPoint reproduction.
+
+The CLI exposes the most common workflows without writing any Python:
+
+* ``python -m repro list`` — list the 19 benchmarks of Table I,
+* ``python -m repro simulate <benchmark>`` — run a full detailed or
+  TaskPoint-sampled simulation of one benchmark,
+* ``python -m repro compare <benchmark>`` — run both and report the
+  execution-time error and the simulation speedup,
+* ``python -m repro variation <benchmark>`` — per-task-type IPC variation
+  (the Figure 1 / Figure 5 analysis) of one benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.analysis.variation import ipc_variation
+from repro.arch.config import high_performance_config, low_power_config
+from repro.core.api import compare_with_detailed, sampled_simulation
+from repro.core.config import TaskPointConfig
+from repro.sim.simulator import simulate
+from repro.workloads.registry import get_workload, list_workloads
+
+
+def _architecture(name: str):
+    if name == "high-performance":
+        return high_performance_config()
+    if name == "low-power":
+        return low_power_config()
+    raise ValueError(f"unknown architecture {name!r}")
+
+
+def _taskpoint_config(args: argparse.Namespace) -> TaskPointConfig:
+    period = None if args.policy == "lazy" else args.period
+    return TaskPointConfig(
+        warmup_instances=args.warmup,
+        history_size=args.history,
+        sampling_period=period,
+    )
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("benchmark", help="benchmark name (see 'repro list')")
+    parser.add_argument("--threads", type=int, default=8, help="simulated threads")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="workload scale relative to Table I (default 0.05)")
+    parser.add_argument("--seed", type=int, default=1, help="trace-generation seed")
+    parser.add_argument("--architecture", choices=["high-performance", "low-power"],
+                        default="high-performance")
+
+
+def _add_taskpoint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--policy", choices=["periodic", "lazy"], default="periodic")
+    parser.add_argument("--period", type=int, default=250, help="sampling period P")
+    parser.add_argument("--warmup", type=int, default=2, help="warm-up instances W")
+    parser.add_argument("--history", type=int, default=4, help="history size H")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TaskPoint: sampled simulation of task-based programs (reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available benchmarks")
+
+    sim = subparsers.add_parser("simulate", help="simulate one benchmark")
+    _add_common_arguments(sim)
+    sim.add_argument("--mode", choices=["detailed", "sampled"], default="sampled")
+    _add_taskpoint_arguments(sim)
+
+    cmp = subparsers.add_parser("compare", help="sampled versus detailed simulation")
+    _add_common_arguments(cmp)
+    _add_taskpoint_arguments(cmp)
+
+    var = subparsers.add_parser("variation", help="per-task-type IPC variation")
+    _add_common_arguments(var)
+    return parser
+
+
+def _command_list() -> int:
+    rows = []
+    for name in list_workloads():
+        info = get_workload(name).info()
+        rows.append([name, info.category, info.paper_task_types,
+                     info.paper_task_instances, info.properties])
+    print(format_table(
+        ["benchmark", "category", "task types", "task instances", "properties"], rows
+    ))
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    trace = get_workload(args.benchmark).generate(scale=args.scale, seed=args.seed)
+    architecture = _architecture(args.architecture)
+    if args.mode == "detailed":
+        result = simulate(trace, num_threads=args.threads, architecture=architecture)
+    else:
+        result = sampled_simulation(
+            trace, num_threads=args.threads, architecture=architecture,
+            config=_taskpoint_config(args),
+        )
+    summary = result.summary()
+    for key, value in summary.items():
+        print(f"{key:20s}: {value}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    trace = get_workload(args.benchmark).generate(scale=args.scale, seed=args.seed)
+    comparison = compare_with_detailed(
+        trace,
+        num_threads=args.threads,
+        architecture=_architecture(args.architecture),
+        config=_taskpoint_config(args),
+    )
+    print(f"benchmark            : {comparison.benchmark}")
+    print(f"architecture         : {comparison.architecture}")
+    print(f"threads              : {comparison.num_threads}")
+    print(f"detailed cycles      : {comparison.detailed.total_cycles:,.0f}")
+    print(f"sampled cycles       : {comparison.sampled.total_cycles:,.0f}")
+    print(f"execution-time error : {comparison.error_percent:.2f} %")
+    print(f"simulation speedup   : {comparison.speedup:.1f}x")
+    stats = comparison.taskpoint_stats
+    print(f"warm-up / valid / fast-forwarded: "
+          f"{stats.warmup_instances} / {stats.valid_samples} / {stats.fast_forwarded}")
+    print(f"resamples            : {stats.resamples}")
+    return 0
+
+
+def _command_variation(args: argparse.Namespace) -> int:
+    trace = get_workload(args.benchmark).generate(scale=args.scale, seed=args.seed)
+    result = simulate(trace, num_threads=args.threads,
+                      architecture=_architecture(args.architecture))
+    report = ipc_variation(result)
+    box = report.box
+    print(f"benchmark     : {report.benchmark} ({args.threads} threads)")
+    print(f"instances     : {box.count}")
+    print(f"p5 / q1 / median / q3 / p95 [%]: "
+          f"{box.percentile_5:.2f} / {box.quartile_1:.2f} / {box.median:.2f} / "
+          f"{box.quartile_3:.2f} / {box.percentile_95:.2f}")
+    print(f"within +/-5%  : {'yes' if report.within_5_percent else 'no'}")
+    rows = [[tv.task_type, tv.count, f"{tv.mean_ipc:.3f}",
+             f"{tv.coefficient_of_variation * 100:.2f}"] for tv in report.per_type]
+    print(format_table(["task type", "instances", "mean IPC", "CV [%]"], rows))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _command_list()
+        if args.command == "simulate":
+            return _command_simulate(args)
+        if args.command == "compare":
+            return _command_compare(args)
+        if args.command == "variation":
+            return _command_variation(args)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

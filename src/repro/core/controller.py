@@ -1,0 +1,273 @@
+"""The TaskPoint controller: sampling mechanism driving the simulator modes.
+
+The controller implements the :class:`repro.sim.modes.ModeController`
+interface and realises the sampling mechanism of paper §III-B:
+
+1. **Warm-up** — at simulation start each thread simulates
+   ``warmup_instances`` (W) task instances in detail; their IPCs are added
+   only to the history of *all* samples.
+2. **Sampling** — subsequent instances are simulated in detail as *valid
+   samples* (added to both histories).  Sampling ends — and fast-forwarding
+   begins — when either every observed task type's valid history is full, or
+   every thread has simulated ``rare_type_cutoff`` instances in a row without
+   encountering an instance of a not-yet-fully-sampled (rare) task type.
+3. **Fast-forward** — instances are advanced in burst mode at the mean IPC of
+   their type's valid history (falling back to the history of all samples for
+   rare types).  Instances that started in detailed mode before the switch
+   run to completion in detailed mode but are only added to the history of
+   all samples.
+4. **Resampling** — triggered by the sampling policy (periodic sampling after
+   P fast-forwarded instances per thread; never for lazy sampling), by a
+   change in the number of threads participating in execution, or by an
+   instance whose task type has no samples at all.  Resampling discards the
+   valid histories, re-warms each thread with one detailed instance and then
+   samples again.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.config import TaskPointConfig
+from repro.core.fastforward import FastForwardEstimator
+from repro.core.history import HistoryTable
+from repro.core.policies import SamplingPolicy, make_policy
+from repro.runtime.task import TaskInstance
+from repro.sim.modes import CompletionInfo, ModeDecision, SimulationMode
+
+
+class SamplingPhase(enum.Enum):
+    """Global phase of the sampling mechanism."""
+
+    SAMPLING = "sampling"            # detailed simulation (warm-up or valid samples)
+    FAST_FORWARD = "fast_forward"    # burst simulation at per-type IPC
+
+
+class ResampleReason(enum.Enum):
+    """Why a resampling interval was triggered."""
+
+    PERIOD_ELAPSED = "period_elapsed"
+    THREAD_COUNT_CHANGE = "thread_count_change"
+    NEW_TASK_TYPE = "new_task_type"
+    EMPTY_HISTORY = "empty_history"
+
+
+@dataclass
+class TaskPointStatistics:
+    """Counters describing what the sampling mechanism did during a run."""
+
+    warmup_instances: int = 0
+    valid_samples: int = 0
+    invalid_samples: int = 0
+    fast_forwarded: int = 0
+    transitions_to_fast: int = 0
+    resamples: int = 0
+    resample_reasons: Counter = field(default_factory=Counter)
+    fallback_estimates: int = 0
+
+    @property
+    def detailed_instances(self) -> int:
+        """Total task instances simulated in detailed mode."""
+        return self.warmup_instances + self.valid_samples + self.invalid_samples
+
+    @property
+    def total_instances(self) -> int:
+        """Total task instances the controller made a decision for."""
+        return self.detailed_instances + self.fast_forwarded
+
+    @property
+    def detailed_fraction(self) -> float:
+        """Fraction of instances simulated in detail."""
+        total = self.total_instances
+        return self.detailed_instances / total if total else 0.0
+
+
+class TaskPointController:
+    """Drives a TaskSim-style simulator according to the TaskPoint methodology.
+
+    Parameters
+    ----------
+    config:
+        TaskPoint model parameters (W, H, P and the resampling triggers).
+    policy:
+        Sampling policy.  ``None`` derives the policy from
+        ``config.sampling_period`` (periodic for an integer, lazy for
+        ``None``).
+    """
+
+    def __init__(
+        self,
+        config: Optional[TaskPointConfig] = None,
+        policy: Optional[SamplingPolicy] = None,
+    ) -> None:
+        self.config = config if config is not None else TaskPointConfig()
+        self.policy = policy if policy is not None else make_policy(self.config.sampling_period)
+        self.histories = HistoryTable(self.config.history_size)
+        self.estimator = FastForwardEstimator(self.histories)
+        self.stats = TaskPointStatistics()
+
+        self.phase = SamplingPhase.SAMPLING
+        # Per-worker warm-up budget: W at simulation start, 1 after a resample.
+        self._warmup_remaining: Dict[int, int] = defaultdict(
+            lambda: self.config.warmup_instances
+        )
+        # Per-worker count of consecutive completed instances whose type was
+        # already fully sampled (used for the rare-type sampling cut-off).
+        self._since_rare: Dict[int, int] = defaultdict(int)
+        # Per-worker count of instances fast-forwarded since the last
+        # sampling interval (used by the periodic policy).
+        self._fast_forwarded: Dict[int, int] = defaultdict(int)
+        # Number of threads participating in execution when the current
+        # samples were taken; None until the first transition to fast mode.
+        self._sampled_thread_count: Optional[int] = None
+        # Consecutive fast-forward decisions that observed a thread count
+        # outside the tolerance band (Figure 4a trigger with persistence).
+        self._thread_change_streak: int = 0
+
+    # ------------------------------------------------------------------
+    # Phase transitions
+    # ------------------------------------------------------------------
+    def _sampling_complete(self) -> bool:
+        """Evaluate the two sampling-termination conditions of the paper."""
+        states = self.histories.states
+        if not states:
+            return False
+        if self.histories.all_fully_sampled():
+            return True
+        # Cut-off: every worker that has completed work has gone
+        # ``rare_type_cutoff`` instances without meeting a rare type, and at
+        # least one type is usable for fast-forwarding.
+        if not self._since_rare:
+            return False
+        any_usable = any(not state.all.is_empty for state in states)
+        if not any_usable:
+            return False
+        return all(
+            count >= self.config.rare_type_cutoff for count in self._since_rare.values()
+        )
+
+    def _enter_fast_forward(self, active_workers: int) -> None:
+        self.phase = SamplingPhase.FAST_FORWARD
+        self.stats.transitions_to_fast += 1
+        self._sampled_thread_count = active_workers
+        self._thread_change_streak = 0
+        self._fast_forwarded.clear()
+        self.policy.reset()
+
+    def _trigger_resample(self, reason: ResampleReason) -> None:
+        """Discard valid samples and return to the sampling phase."""
+        self.phase = SamplingPhase.SAMPLING
+        self.stats.resamples += 1
+        self.stats.resample_reasons[reason] += 1
+        self.histories.clear_valid()
+        self._since_rare.clear()
+        self._fast_forwarded.clear()
+        self._thread_change_streak = 0
+        # Re-warm every thread that participates from here on with the
+        # (short) resample warm-up budget.
+        warmup = self.config.resample_warmup_instances
+        self._warmup_remaining.clear()
+        self._warmup_remaining.default_factory = lambda: warmup
+
+    def _thread_count_changed(self, active_workers: int) -> bool:
+        """Check the Figure 4a trigger with tolerance and persistence.
+
+        A resample is only triggered once the active-thread count has stayed
+        outside the tolerance band for ``thread_change_persistence``
+        consecutive fast-forward decisions, so momentary dips at dependency
+        boundaries do not discard otherwise valid samples.
+        """
+        if not self.config.resample_on_thread_change:
+            return False
+        if self._sampled_thread_count is None or self._sampled_thread_count == 0:
+            return False
+        change = abs(active_workers - self._sampled_thread_count) / self._sampled_thread_count
+        if change > self.config.thread_change_tolerance:
+            self._thread_change_streak += 1
+        else:
+            self._thread_change_streak = 0
+        return self._thread_change_streak >= self.config.thread_change_persistence
+
+    # ------------------------------------------------------------------
+    # ModeController interface
+    # ------------------------------------------------------------------
+    def choose_mode(
+        self,
+        instance: TaskInstance,
+        worker_id: int,
+        active_workers: int,
+        current_cycle: float,
+    ) -> ModeDecision:
+        """Decide how the simulator should execute ``instance``."""
+        task_type = instance.task_type.name
+        first_encounter = not self.histories.known(task_type)
+        state = self.histories.state(task_type)
+
+        if self.phase is SamplingPhase.SAMPLING:
+            if self._sampling_complete():
+                self._enter_fast_forward(active_workers)
+            else:
+                return self._detailed_decision(worker_id)
+
+        # Fast-forward phase: check the resampling triggers in the order the
+        # paper discusses them (correctness triggers first, then the policy).
+        if first_encounter and self.config.resample_on_new_task_type:
+            self._trigger_resample(ResampleReason.NEW_TASK_TYPE)
+            return self._detailed_decision(worker_id)
+        if self._thread_count_changed(active_workers):
+            self._trigger_resample(ResampleReason.THREAD_COUNT_CHANGE)
+            return self._detailed_decision(worker_id)
+        if self.policy.should_resample(self._fast_forwarded[worker_id]):
+            self._trigger_resample(ResampleReason.PERIOD_ELAPSED)
+            return self._detailed_decision(worker_id)
+
+        estimate = self.estimator.estimate(instance.record)
+        if estimate is None:
+            # No sample of any kind for this type: impossible to fast-forward.
+            self._trigger_resample(ResampleReason.EMPTY_HISTORY)
+            return self._detailed_decision(worker_id)
+        if estimate.used_fallback:
+            self.stats.fallback_estimates += 1
+        self._fast_forwarded[worker_id] += 1
+        state.record_fast_forward()
+        self.stats.fast_forwarded += 1
+        return ModeDecision(mode=SimulationMode.BURST, ipc=estimate.ipc)
+
+    def _detailed_decision(self, worker_id: int) -> ModeDecision:
+        is_warmup = self._warmup_remaining[worker_id] > 0
+        return ModeDecision(mode=SimulationMode.DETAILED, is_warmup=is_warmup)
+
+    def notify_completion(self, info: CompletionInfo) -> None:
+        """Record the measured IPC of a detailed instance in the histories."""
+        if info.mode is not SimulationMode.DETAILED:
+            return
+        if info.ipc <= 0:
+            return
+        state = self.histories.state(info.instance.task_type.name)
+        if info.is_warmup:
+            # Warm-up instances only feed the history of all samples.
+            state.record_detailed(info.ipc, valid=False)
+            self.stats.warmup_instances += 1
+            if self._warmup_remaining[info.worker_id] > 0:
+                self._warmup_remaining[info.worker_id] -= 1
+        elif self.phase is SamplingPhase.SAMPLING:
+            state.record_detailed(info.ipc, valid=True)
+            self.stats.valid_samples += 1
+            dispersion = state.valid.coefficient_of_variation()
+            if dispersion is not None:
+                self.policy.observe_dispersion(dispersion)
+        else:
+            # The instance started in detail before the transition to fast
+            # mode and finished afterwards: only the history of all samples.
+            state.record_detailed(info.ipc, valid=False)
+            self.stats.invalid_samples += 1
+
+        # Rare-type cut-off bookkeeping: a completed detailed instance of a
+        # not-yet-fully-sampled type resets the worker's streak.
+        if state.is_rare:
+            self._since_rare[info.worker_id] = 0
+        else:
+            self._since_rare[info.worker_id] += 1

@@ -1,0 +1,55 @@
+"""Accurate fast-forwarding of task instances.
+
+During fast-forward, the duration of a task instance is calculated at the
+beginning of its execution from the mean IPC of its task type's sample
+history and the instance's dynamic instruction count (paper §IV):
+
+    C_i = I_i / IPC_T
+
+This captures the two effects the paper identifies as essential for
+dynamically scheduled programs: different task types progress at different
+rates, and instances of the same type with different input sizes take
+proportionally different times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.history import HistoryTable
+from repro.trace.records import TaskTraceRecord
+
+
+@dataclass(frozen=True)
+class FastForwardEstimate:
+    """Estimated fast-forward timing of one task instance."""
+
+    ipc: float
+    cycles: float
+    used_fallback: bool  # True when the history of all samples was used
+
+
+class FastForwardEstimator:
+    """Predicts burst-mode IPC and cycle counts from the sample histories."""
+
+    def __init__(self, histories: HistoryTable) -> None:
+        self.histories = histories
+
+    def estimate(self, record: TaskTraceRecord) -> Optional[FastForwardEstimate]:
+        """Return the fast-forward estimate for ``record``.
+
+        Returns ``None`` when neither history of the instance's task type
+        holds any sample, in which case the caller must fall back to detailed
+        simulation (and trigger resampling).
+        """
+        state = self.histories.state(record.task_type)
+        ipc = state.valid.mean()
+        used_fallback = False
+        if ipc is None:
+            ipc = state.all.mean()
+            used_fallback = True
+        if ipc is None or ipc <= 0:
+            return None
+        cycles = max(1.0, record.instructions / ipc)
+        return FastForwardEstimate(ipc=ipc, cycles=cycles, used_fallback=used_fallback)

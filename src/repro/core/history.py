@@ -1,0 +1,178 @@
+"""Per-task-type IPC sample histories.
+
+For each task type TaskPoint maintains two FIFO buffers of size H (paper
+§III-B):
+
+* the **history of valid samples** — IPCs of instances simulated in detail
+  after the simulation was properly warmed; this is the history normally used
+  to fast-forward, and the one discarded on resampling, and
+* the **history of all samples** — IPCs of every instance simulated in
+  detail, warmed or not; it serves as a fallback for rare task types that
+  never accumulate enough valid samples.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+
+class SampleHistory:
+    """A FIFO buffer of the most recent IPC samples of one task type."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("history capacity must be >= 1")
+        self.capacity = capacity
+        self._samples: Deque[float] = deque(maxlen=capacity)
+
+    def add(self, ipc: float) -> None:
+        """Append a sample; the oldest sample is dropped when full."""
+        if ipc <= 0:
+            raise ValueError(f"IPC samples must be positive, got {ipc}")
+        self._samples.append(ipc)
+
+    def clear(self) -> None:
+        """Discard all samples (used when the simulation is resampled)."""
+        self._samples.clear()
+
+    @property
+    def samples(self) -> List[float]:
+        """Current samples, oldest first."""
+        return list(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` when no samples are recorded."""
+        return not self._samples
+
+    @property
+    def is_full(self) -> bool:
+        """``True`` when the buffer holds ``capacity`` samples."""
+        return len(self._samples) == self.capacity
+
+    def mean(self) -> Optional[float]:
+        """Average IPC of the recorded samples, or ``None`` if empty."""
+        if not self._samples:
+            return None
+        return sum(self._samples) / len(self._samples)
+
+    def coefficient_of_variation(self) -> Optional[float]:
+        """Relative dispersion (stddev / mean) of the samples, if >= 2 samples."""
+        if len(self._samples) < 2:
+            return None
+        mean = sum(self._samples) / len(self._samples)
+        if mean == 0:
+            return None
+        variance = sum((value - mean) ** 2 for value in self._samples) / len(self._samples)
+        return variance ** 0.5 / mean
+
+
+@dataclass
+class TaskTypeState:
+    """Sampling state of one task type."""
+
+    task_type: str
+    valid: SampleHistory
+    all: SampleHistory
+    detailed_count: int = 0
+    fast_forwarded_count: int = 0
+
+    @classmethod
+    def create(cls, task_type: str, history_size: int) -> "TaskTypeState":
+        """Create fresh (empty) state for ``task_type``."""
+        return cls(
+            task_type=task_type,
+            valid=SampleHistory(history_size),
+            all=SampleHistory(history_size),
+        )
+
+    @property
+    def is_fully_sampled(self) -> bool:
+        """``True`` when the history of valid samples is full."""
+        return self.valid.is_full
+
+    @property
+    def is_rare(self) -> bool:
+        """``True`` when the type has been observed but not fully sampled.
+
+        The paper calls task types that occur too infrequently to fill their
+        valid history within a sampling interval *rare task types*.
+        """
+        return not self.valid.is_full
+
+    def record_detailed(self, ipc: float, valid: bool) -> None:
+        """Record the IPC of an instance simulated in detail."""
+        self.all.add(ipc)
+        if valid:
+            self.valid.add(ipc)
+        self.detailed_count += 1
+
+    def record_fast_forward(self) -> None:
+        """Record that one instance of this type was fast-forwarded."""
+        self.fast_forwarded_count += 1
+
+    def fast_forward_ipc(self) -> Optional[float]:
+        """IPC to use when fast-forwarding an instance of this type.
+
+        Preference order (paper §III-B): mean of the valid history, then mean
+        of the history of all samples, then ``None`` (impossible to
+        fast-forward — the caller must trigger resampling).
+        """
+        ipc = self.valid.mean()
+        if ipc is not None:
+            return ipc
+        return self.all.mean()
+
+
+class HistoryTable:
+    """All per-task-type sampling state of one simulation."""
+
+    def __init__(self, history_size: int) -> None:
+        if history_size < 1:
+            raise ValueError("history_size must be >= 1")
+        self.history_size = history_size
+        self._types: Dict[str, TaskTypeState] = {}
+
+    def state(self, task_type: str) -> TaskTypeState:
+        """Return (creating if necessary) the state of ``task_type``."""
+        state = self._types.get(task_type)
+        if state is None:
+            state = TaskTypeState.create(task_type, self.history_size)
+            self._types[task_type] = state
+        return state
+
+    def known(self, task_type: str) -> bool:
+        """``True`` if ``task_type`` has been observed before."""
+        return task_type in self._types
+
+    @property
+    def states(self) -> List[TaskTypeState]:
+        """All per-type states, in order of first observation."""
+        return list(self._types.values())
+
+    def all_fully_sampled(self) -> bool:
+        """``True`` when every observed type's valid history is full."""
+        return bool(self._types) and all(
+            state.is_fully_sampled for state in self._types.values()
+        )
+
+    def clear_valid(self) -> None:
+        """Discard the valid histories of all types (on resampling)."""
+        for state in self._types.values():
+            state.valid.clear()
+
+    def mean_dispersion(self) -> Optional[float]:
+        """Average coefficient of variation across types with enough samples."""
+        values = [
+            state.valid.coefficient_of_variation()
+            for state in self._types.values()
+        ]
+        values = [value for value in values if value is not None]
+        if not values:
+            return None
+        return sum(values) / len(values)

@@ -1,0 +1,121 @@
+"""Sampling policies: when to resample a fast-forwarding simulation.
+
+The sampling *mechanism* (warm-up, histories, fast-forward) is independent of
+the *policy* deciding when a simulation running in fast-forward mode should be
+resampled (paper §III).  Two policies are evaluated in the paper:
+
+* **periodic sampling** — resample after a thread has fast-forwarded P task
+  instances, and
+* **lazy sampling** — never resample on account of elapsed instances
+  (P = ∞); resampling still happens for correctness reasons (new task type,
+  thread-count change).
+
+As an extension beyond the paper this module also provides an **adaptive**
+policy that shortens the period when the per-type IPC samples are noisy and
+lengthens it when they are stable.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+
+class SamplingPolicy(abc.ABC):
+    """Decides whether a worker's fast-forward progress warrants resampling."""
+
+    #: Human-readable policy name used in reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def should_resample(self, worker_fast_forwarded: int) -> bool:
+        """Return ``True`` if a worker that fast-forwarded this many instances
+        since the last sampling interval should trigger resampling."""
+
+    def observe_dispersion(self, coefficient_of_variation: float) -> None:
+        """Receive the current dispersion of the IPC samples (optional hook).
+
+        Policies that adapt their period (see
+        :class:`AdaptiveSamplingPolicy`) override this; the default is a
+        no-op.
+        """
+
+    def reset(self) -> None:
+        """Called when a resampling interval completes (optional hook)."""
+
+
+class PeriodicSamplingPolicy(SamplingPolicy):
+    """Resample after every P fast-forwarded task instances per thread."""
+
+    name = "periodic"
+
+    def __init__(self, period: int) -> None:
+        if period < 1:
+            raise ValueError("sampling period must be >= 1")
+        self.period = period
+
+    def should_resample(self, worker_fast_forwarded: int) -> bool:
+        """Trigger once a worker has fast-forwarded ``period`` instances."""
+        return worker_fast_forwarded >= self.period
+
+
+class LazySamplingPolicy(SamplingPolicy):
+    """Never resample based on elapsed instances (infinite period)."""
+
+    name = "lazy"
+
+    def should_resample(self, worker_fast_forwarded: int) -> bool:
+        """Lazy sampling never triggers period-based resampling."""
+        return False
+
+
+class AdaptiveSamplingPolicy(SamplingPolicy):
+    """Extension: adapt the sampling period to the observed IPC stability.
+
+    The policy starts from ``initial_period`` and, every time the controller
+    reports the dispersion (coefficient of variation) of the recorded valid
+    samples, nudges the period towards ``min_period`` when dispersion exceeds
+    ``target_dispersion`` and towards ``max_period`` when it is below.  This
+    trades speedup for accuracy only on benchmarks that need it (e.g. dedup,
+    freqmine) instead of globally.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        initial_period: int = 250,
+        min_period: int = 50,
+        max_period: int = 2000,
+        target_dispersion: float = 0.05,
+    ) -> None:
+        if not (1 <= min_period <= initial_period <= max_period):
+            raise ValueError("periods must satisfy 1 <= min <= initial <= max")
+        if target_dispersion <= 0:
+            raise ValueError("target_dispersion must be positive")
+        self.period = initial_period
+        self.min_period = min_period
+        self.max_period = max_period
+        self.target_dispersion = target_dispersion
+
+    def should_resample(self, worker_fast_forwarded: int) -> bool:
+        """Trigger once a worker has fast-forwarded the current period."""
+        return worker_fast_forwarded >= self.period
+
+    def observe_dispersion(self, coefficient_of_variation: float) -> None:
+        """Shrink the period when samples are noisy, grow it when stable."""
+        if coefficient_of_variation > self.target_dispersion:
+            self.period = max(self.min_period, int(self.period * 0.5))
+        else:
+            self.period = min(self.max_period, int(self.period * 1.25) + 1)
+
+
+def make_policy(sampling_period: Optional[int]) -> SamplingPolicy:
+    """Create the policy matching a :class:`TaskPointConfig` period value.
+
+    ``None`` selects lazy sampling; any positive integer selects periodic
+    sampling with that period.
+    """
+    if sampling_period is None:
+        return LazySamplingPolicy()
+    return PeriodicSamplingPolicy(sampling_period)

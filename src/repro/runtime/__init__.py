@@ -1,0 +1,37 @@
+"""Task-based runtime system (OmpSs-style substrate).
+
+The paper's experimental stack runs task-based OmpSs programs whose task
+instances are scheduled dynamically by the Nanos++ runtime.  This package is
+the reproduction's equivalent runtime: it tracks task instances and their
+dependencies, maintains the ready queue and assigns ready instances to
+simulated worker threads through a pluggable scheduling policy.
+
+The runtime is deliberately independent of the simulator: it only reasons
+about task readiness and assignment, while the simulator decides how long
+each assigned instance takes.
+"""
+
+from repro.runtime.task import TaskInstance, TaskState, TaskType
+from repro.runtime.dependencies import DependencyTracker, TaskGraphBuilder
+from repro.runtime.scheduler import (
+    FifoScheduler,
+    LocalityScheduler,
+    RandomScheduler,
+    Scheduler,
+    make_scheduler,
+)
+from repro.runtime.runtime import RuntimeSystem
+
+__all__ = [
+    "TaskType",
+    "TaskInstance",
+    "TaskState",
+    "DependencyTracker",
+    "TaskGraphBuilder",
+    "Scheduler",
+    "FifoScheduler",
+    "LocalityScheduler",
+    "RandomScheduler",
+    "make_scheduler",
+    "RuntimeSystem",
+]

@@ -1,0 +1,75 @@
+"""The runtime system: dependency tracking plus dynamic scheduling.
+
+The :class:`RuntimeSystem` is the piece of the stack that the simulator
+interfaces with, mirroring how TaskSim interfaces with an unmodified Nanos++
+runtime: the simulator asks the runtime for the next ready task instance for
+an idle worker and notifies it when an instance completes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.runtime.dependencies import DependencyTracker
+from repro.runtime.scheduler import FifoScheduler, Scheduler
+from repro.runtime.task import TaskInstance, TaskType
+from repro.trace.trace import ApplicationTrace
+
+
+class RuntimeSystem:
+    """Schedules the task instances of one application onto worker threads.
+
+    Parameters
+    ----------
+    trace:
+        The application trace to execute.
+    scheduler:
+        Dynamic scheduling policy; defaults to a global FIFO queue.
+    """
+
+    def __init__(self, trace: ApplicationTrace, scheduler: Optional[Scheduler] = None) -> None:
+        self.trace = trace
+        self.tracker = DependencyTracker(trace)
+        self.scheduler = scheduler if scheduler is not None else FifoScheduler()
+        for instance in self.tracker.initially_ready():
+            self.scheduler.enqueue(instance)
+
+    # ------------------------------------------------------------------
+    @property
+    def task_types(self) -> List[TaskType]:
+        """All task types of the application."""
+        return self.tracker.task_types
+
+    @property
+    def num_instances(self) -> int:
+        """Total number of task instances."""
+        return self.tracker.num_instances
+
+    @property
+    def num_completed(self) -> int:
+        """Number of instances that have completed."""
+        return self.tracker.num_completed
+
+    def pending_ready(self) -> int:
+        """Number of instances ready and waiting for a worker."""
+        return self.scheduler.pending()
+
+    def finished(self) -> bool:
+        """``True`` when every instance of the application has completed."""
+        return self.tracker.all_completed()
+
+    # ------------------------------------------------------------------
+    def next_task(self, worker_id: int) -> Optional[TaskInstance]:
+        """Return the next ready instance for ``worker_id``, or ``None``."""
+        return self.scheduler.dequeue(worker_id)
+
+    def notify_completion(self, instance: TaskInstance, worker_id: int) -> List[TaskInstance]:
+        """Handle completion of ``instance``: release and enqueue dependents.
+
+        Returns the list of instances that became ready as a result.
+        """
+        self.scheduler.on_complete(worker_id, instance)
+        released = self.tracker.complete(instance.instance_id)
+        for ready in released:
+            self.scheduler.enqueue(ready)
+        return released

@@ -1,0 +1,136 @@
+"""Dynamic task schedulers.
+
+A scheduler decides which ready task instance an idle worker thread picks up
+next.  Because the schedulers are deliberately simple and deterministic for a
+fixed seed, the same trace simulated twice with the same scheduler produces
+the same assignment of instances to threads — but *different* schedulers (or
+different thread counts) produce different per-thread instruction streams,
+which is exactly the property of dynamically scheduled task-based programs
+that breaks conventional multi-threaded sampling techniques.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.runtime.task import TaskInstance
+
+
+class Scheduler(abc.ABC):
+    """Interface of a dynamic task scheduler."""
+
+    @abc.abstractmethod
+    def enqueue(self, instance: TaskInstance) -> None:
+        """Add a ready task instance to the scheduler's pool."""
+
+    @abc.abstractmethod
+    def dequeue(self, worker_id: int) -> Optional[TaskInstance]:
+        """Return the next instance for ``worker_id``, or ``None`` if empty."""
+
+    @abc.abstractmethod
+    def pending(self) -> int:
+        """Number of ready instances currently queued."""
+
+    def on_complete(self, worker_id: int, instance: TaskInstance) -> None:
+        """Hook called when ``worker_id`` finishes ``instance`` (optional)."""
+
+
+class FifoScheduler(Scheduler):
+    """A single global FIFO ready queue (the default OmpSs breadth-first)."""
+
+    def __init__(self) -> None:
+        self._queue: Deque[TaskInstance] = deque()
+
+    def enqueue(self, instance: TaskInstance) -> None:
+        self._queue.append(instance)
+
+    def dequeue(self, worker_id: int) -> Optional[TaskInstance]:
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class LocalityScheduler(Scheduler):
+    """Prefers giving a worker instances of the task type it last executed.
+
+    This approximates locality-aware scheduling: consecutive instances of the
+    same type on the same core reuse warmed private-cache state, which lowers
+    their execution time.  Falls back to global FIFO order when no matching
+    instance is queued.
+    """
+
+    def __init__(self) -> None:
+        self._queue: Deque[TaskInstance] = deque()
+        self._last_type: Dict[int, str] = {}
+
+    def enqueue(self, instance: TaskInstance) -> None:
+        self._queue.append(instance)
+
+    def dequeue(self, worker_id: int) -> Optional[TaskInstance]:
+        if not self._queue:
+            return None
+        preferred = self._last_type.get(worker_id)
+        if preferred is not None:
+            for index, instance in enumerate(self._queue):
+                if instance.task_type.name == preferred:
+                    del self._queue[index]
+                    return instance
+        return self._queue.popleft()
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def on_complete(self, worker_id: int, instance: TaskInstance) -> None:
+        self._last_type[worker_id] = instance.task_type.name
+
+
+class RandomScheduler(Scheduler):
+    """Picks a random ready instance; models work-stealing-like randomness.
+
+    Deterministic for a fixed seed, but the assignment of instances to
+    workers differs from run to run when the seed changes — a convenient way
+    to emulate the run-to-run scheduling variability of real task runtimes.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._pool: List[TaskInstance] = []
+        self._rng = random.Random(seed)
+
+    def enqueue(self, instance: TaskInstance) -> None:
+        self._pool.append(instance)
+
+    def dequeue(self, worker_id: int) -> Optional[TaskInstance]:
+        if not self._pool:
+            return None
+        index = self._rng.randrange(len(self._pool))
+        self._pool[index], self._pool[-1] = self._pool[-1], self._pool[index]
+        return self._pool.pop()
+
+    def pending(self) -> int:
+        return len(self._pool)
+
+
+_SCHEDULERS = {
+    "fifo": FifoScheduler,
+    "locality": LocalityScheduler,
+    "random": RandomScheduler,
+}
+
+
+def make_scheduler(name: str, seed: int = 0) -> Scheduler:
+    """Create a scheduler by name (``"fifo"``, ``"locality"`` or ``"random"``)."""
+    try:
+        factory = _SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; available: {sorted(_SCHEDULERS)}"
+        ) from None
+    if factory is RandomScheduler:
+        return RandomScheduler(seed=seed)
+    return factory()

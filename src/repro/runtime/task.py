@@ -1,0 +1,104 @@
+"""Task types and task instances.
+
+Terminology follows the paper: every execution of a task declaration creates
+a *task instance*; all instances created from the same declaration share a
+*task type*.  The number of task types is small (1-11 for the evaluated
+benchmarks) while the number of instances is in the thousands.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.trace.records import TaskTraceRecord
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task instance inside the runtime."""
+
+    CREATED = "created"        # dependencies not yet satisfied
+    READY = "ready"            # all dependencies satisfied, waiting for a thread
+    RUNNING = "running"        # assigned to a worker thread
+    COMPLETED = "completed"    # finished execution
+
+
+@dataclass(frozen=True)
+class TaskType:
+    """A task declaration in the (synthetic) program source."""
+
+    name: str
+    type_id: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+@dataclass
+class TaskInstance:
+    """A single dynamically created task instance.
+
+    The instance wraps its trace record (dynamic instruction count, memory
+    behaviour) and adds the runtime-side state: dependency counters, the
+    worker it ran on and its measured timing once completed.
+    """
+
+    record: TaskTraceRecord
+    task_type: TaskType
+    state: TaskState = TaskState.CREATED
+    remaining_dependencies: int = 0
+    dependents: Set[int] = field(default_factory=set)
+    worker_id: Optional[int] = None
+    start_cycle: Optional[float] = None
+    end_cycle: Optional[float] = None
+
+    @property
+    def instance_id(self) -> int:
+        """Identifier of the instance (same as its trace record's id)."""
+        return self.record.instance_id
+
+    @property
+    def instructions(self) -> int:
+        """Dynamic instruction count of the instance."""
+        return self.record.instructions
+
+    @property
+    def cycles(self) -> Optional[float]:
+        """Execution time in cycles, or ``None`` if not completed."""
+        if self.start_cycle is None or self.end_cycle is None:
+            return None
+        return self.end_cycle - self.start_cycle
+
+    @property
+    def ipc(self) -> Optional[float]:
+        """Measured IPC of the instance, or ``None`` if not completed."""
+        cycles = self.cycles
+        if cycles is None or cycles <= 0:
+            return None
+        return self.instructions / cycles
+
+    def mark_ready(self) -> None:
+        """Transition CREATED -> READY (all dependencies satisfied)."""
+        if self.state is not TaskState.CREATED:
+            raise ValueError(f"cannot mark {self.state} instance ready")
+        if self.remaining_dependencies != 0:
+            raise ValueError("instance still has unsatisfied dependencies")
+        self.state = TaskState.READY
+
+    def mark_running(self, worker_id: int, start_cycle: float) -> None:
+        """Transition READY -> RUNNING on ``worker_id`` at ``start_cycle``."""
+        if self.state is not TaskState.READY:
+            raise ValueError(f"cannot start {self.state} instance")
+        self.state = TaskState.RUNNING
+        self.worker_id = worker_id
+        self.start_cycle = start_cycle
+
+    def mark_completed(self, end_cycle: float) -> None:
+        """Transition RUNNING -> COMPLETED at ``end_cycle``."""
+        if self.state is not TaskState.RUNNING:
+            raise ValueError(f"cannot complete {self.state} instance")
+        if self.start_cycle is not None and end_cycle < self.start_cycle:
+            raise ValueError("end cycle precedes start cycle")
+        self.state = TaskState.COMPLETED
+        self.end_cycle = end_cycle

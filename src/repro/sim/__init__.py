@@ -1,0 +1,41 @@
+"""TaskSim-style trace-driven multi-core simulator.
+
+The simulator replays an :class:`~repro.trace.trace.ApplicationTrace` on a
+configurable multi-core architecture.  Worker threads obtain ready task
+instances from the runtime system and execute them either in **detailed mode**
+(ROB-occupancy core model plus cache hierarchy, see :mod:`repro.arch`) or in
+**burst/fast mode** (a user-specified IPC applied to the instance's dynamic
+instruction count), the two simulation modes the TaskPoint methodology
+requires from its host simulator.
+
+Which mode a given task instance uses is decided by a pluggable
+:class:`~repro.sim.modes.ModeController`; the default controller simulates
+everything in detail, and :class:`repro.core.TaskPointController` implements
+the paper's sampling methodology.
+"""
+
+from repro.sim.modes import (
+    AlwaysDetailedController,
+    FixedIpcController,
+    ModeController,
+    ModeDecision,
+    SimulationMode,
+)
+from repro.sim.cost import SimulationCost
+from repro.sim.results import InstanceResult, SimulationResult
+from repro.sim.engine import SimulationEngine
+from repro.sim.simulator import TaskSimSimulator, simulate
+
+__all__ = [
+    "SimulationMode",
+    "ModeDecision",
+    "ModeController",
+    "AlwaysDetailedController",
+    "FixedIpcController",
+    "SimulationCost",
+    "InstanceResult",
+    "SimulationResult",
+    "SimulationEngine",
+    "TaskSimSimulator",
+    "simulate",
+]

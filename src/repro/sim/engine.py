@@ -1,0 +1,227 @@
+"""Discrete-event simulation engine.
+
+The engine drives the co-simulation of the runtime system and the
+architecture model: idle worker threads request ready task instances from the
+runtime, the mode controller decides how each instance is simulated, and the
+engine advances simulated time from task completion to task completion.
+
+Mode switching happens only at task-instance boundaries, exactly as in the
+paper: when the controller switches from sampling to fast-forward, instances
+that already started in detailed mode run to completion in detailed mode
+while newly dispatched instances start in burst mode, so short mixed phases
+occur naturally.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.arch.config import ArchitectureConfig
+from repro.arch.core import DetailedCoreModel
+from repro.arch.hierarchy import MemorySystem
+from repro.arch.rob import RobModel
+from repro.runtime.runtime import RuntimeSystem
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.task import TaskInstance
+from repro.sim.cost import SimulationCost
+from repro.sim.modes import (
+    AlwaysDetailedController,
+    CompletionInfo,
+    ModeController,
+    ModeDecision,
+    SimulationMode,
+)
+from repro.sim.results import InstanceResult, SimulationResult
+from repro.trace.trace import ApplicationTrace
+
+#: Type of the optional per-instance noise callback: maps a task instance to a
+#: multiplicative factor applied to its detailed-mode cycle count.
+NoiseModel = Callable[[TaskInstance], float]
+
+
+class DeadlockError(RuntimeError):
+    """Raised when no task is ready, none is running, but work remains."""
+
+
+@dataclass(order=True)
+class _Completion:
+    """Entry of the completion event queue (ordered by time, then sequence)."""
+
+    end_cycle: float
+    sequence: int
+    worker_id: int
+    instance: TaskInstance = None  # type: ignore[assignment]
+    decision: ModeDecision = None  # type: ignore[assignment]
+    ipc: float = 0.0
+
+
+class SimulationEngine:
+    """Simulates one application trace on one machine configuration.
+
+    Parameters
+    ----------
+    trace:
+        Application trace to replay.
+    architecture:
+        Architecture configuration (see :mod:`repro.arch.config`).
+    num_threads:
+        Number of simulated worker threads (one per simulated core).
+    scheduler:
+        Dynamic task scheduler; defaults to the runtime's FIFO scheduler.
+    controller:
+        Mode controller; defaults to full detailed simulation.
+    noise_model:
+        Optional multiplicative noise applied to detailed-mode cycle counts
+        (used by the native-execution substitute).
+    """
+
+    def __init__(
+        self,
+        trace: ApplicationTrace,
+        architecture: ArchitectureConfig,
+        num_threads: int,
+        scheduler: Optional[Scheduler] = None,
+        controller: Optional[ModeController] = None,
+        noise_model: Optional[NoiseModel] = None,
+    ) -> None:
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        self.trace = trace
+        self.architecture = architecture
+        self.num_threads = num_threads
+        self.runtime = RuntimeSystem(trace, scheduler)
+        self.controller: ModeController = (
+            controller if controller is not None else AlwaysDetailedController()
+        )
+        self.noise_model = noise_model
+        self.memory_system = MemorySystem(architecture, num_threads)
+        rob = RobModel(architecture.core, l1_latency=architecture.l1.latency_cycles)
+        self.cores = [
+            DetailedCoreModel(core_id, self.memory_system, rob)
+            for core_id in range(num_threads)
+        ]
+        self.cost = SimulationCost()
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    def _execute_detailed(
+        self, worker_id: int, instance: TaskInstance, active_workers: int
+    ) -> tuple:
+        """Run ``instance`` through the detailed model; return (cycles, ipc)."""
+        noise = self.noise_model(instance) if self.noise_model is not None else None
+        execution = self.cores[worker_id].execute(
+            instance.record, active_cores=active_workers, noise=noise
+        )
+        self.cost.charge_detailed(
+            instructions=instance.instructions,
+            memory_events=execution.memory_events,
+        )
+        return execution.cycles, execution.ipc
+
+    def _execute_burst(self, instance: TaskInstance, ipc: float) -> tuple:
+        """Advance ``instance`` in burst mode at ``ipc``; return (cycles, ipc)."""
+        cycles = max(1.0, instance.instructions / ipc)
+        self.cost.charge_burst()
+        return cycles, instance.instructions / cycles
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Simulate the complete application and return the result."""
+        current_cycle = 0.0
+        idle_workers: List[int] = list(range(self.num_threads))
+        completions: List[_Completion] = []
+        running: Dict[int, _Completion] = {}
+        instance_results: List[InstanceResult] = []
+
+        while not self.runtime.finished():
+            # Dispatch ready instances to idle workers.  Assignments are
+            # collected first so every instance dispatched at this simulated
+            # instant sees the same active-worker count (they will execute
+            # concurrently, so they contend with each other).
+            assignments: List[tuple] = []
+            while idle_workers:
+                worker_id = idle_workers[0]
+                instance = self.runtime.next_task(worker_id)
+                if instance is None:
+                    break
+                idle_workers.pop(0)
+                assignments.append((worker_id, instance))
+            active_workers = len(running) + len(assignments)
+            for worker_id, instance in assignments:
+                decision = self.controller.choose_mode(
+                    instance, worker_id, active_workers, current_cycle
+                )
+                instance.mark_running(worker_id, current_cycle)
+                if decision.mode is SimulationMode.DETAILED:
+                    cycles, ipc = self._execute_detailed(
+                        worker_id, instance, active_workers
+                    )
+                else:
+                    cycles, ipc = self._execute_burst(instance, decision.ipc)
+                self._sequence += 1
+                completion = _Completion(
+                    end_cycle=current_cycle + cycles,
+                    sequence=self._sequence,
+                    worker_id=worker_id,
+                    instance=instance,
+                    decision=decision,
+                    ipc=ipc,
+                )
+                heapq.heappush(completions, completion)
+                running[worker_id] = completion
+
+            if not completions:
+                if self.runtime.finished():
+                    break
+                raise DeadlockError(
+                    f"no runnable tasks but {self.runtime.num_instances - self.runtime.num_completed}"
+                    " instances remain; the trace's dependency graph cannot progress"
+                )
+
+            # Advance to the next completion.
+            completion = heapq.heappop(completions)
+            current_cycle = completion.end_cycle
+            worker_id = completion.worker_id
+            instance = completion.instance
+            del running[worker_id]
+            instance.mark_completed(current_cycle)
+            info = CompletionInfo(
+                instance=instance,
+                mode=completion.decision.mode,
+                cycles=current_cycle - instance.start_cycle,
+                ipc=completion.ipc,
+                is_warmup=completion.decision.is_warmup,
+                start_cycle=instance.start_cycle,
+                end_cycle=current_cycle,
+                worker_id=worker_id,
+                active_workers=len(running) + 1,
+            )
+            self.controller.notify_completion(info)
+            self.runtime.notify_completion(instance, worker_id)
+            idle_workers.append(worker_id)
+            idle_workers.sort()
+            instance_results.append(
+                InstanceResult(
+                    instance_id=instance.instance_id,
+                    task_type=instance.task_type.name,
+                    worker_id=worker_id,
+                    mode=completion.decision.mode,
+                    instructions=instance.instructions,
+                    start_cycle=instance.start_cycle,
+                    end_cycle=current_cycle,
+                    ipc=completion.ipc,
+                    is_warmup=completion.decision.is_warmup,
+                )
+            )
+
+        return SimulationResult(
+            benchmark=self.trace.name,
+            architecture=self.architecture.name,
+            num_threads=self.num_threads,
+            total_cycles=current_cycle,
+            instances=instance_results,
+            cost=self.cost,
+            metadata={"scheduler": type(self.runtime.scheduler).__name__},
+        )

@@ -1,0 +1,128 @@
+"""Simulation modes and the mode-controller interface.
+
+TaskPoint requires its host simulator to provide exactly two things (paper
+§III-A): a detailed and a fast simulation mode, and the ability to run the
+fast mode at a user-specified IPC.  The :class:`ModeController` protocol is
+the hook through which a sampling methodology drives those modes: before each
+task instance starts, the engine asks the controller which mode to use (and,
+for burst mode, at which IPC); after each instance finishes, the engine
+reports the measured timing back to the controller.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.runtime.task import TaskInstance
+
+
+class SimulationMode(enum.Enum):
+    """The two simulation modes of the TaskSim-style simulator."""
+
+    DETAILED = "detailed"
+    BURST = "burst"
+
+
+@dataclass(frozen=True)
+class ModeDecision:
+    """Decision returned by a mode controller for one task instance.
+
+    Attributes
+    ----------
+    mode:
+        Simulation mode to use for the instance.
+    ipc:
+        Target IPC for burst mode.  Ignored in detailed mode.
+    is_warmup:
+        ``True`` if the instance is simulated in detail purely to warm
+        micro-architectural state (its IPC is not a valid sample).
+    """
+
+    mode: SimulationMode
+    ipc: Optional[float] = None
+    is_warmup: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode is SimulationMode.BURST:
+            if self.ipc is None or self.ipc <= 0:
+                raise ValueError("burst mode requires a positive target IPC")
+
+
+@dataclass(frozen=True)
+class CompletionInfo:
+    """Timing information reported to the controller after an instance ends."""
+
+    instance: TaskInstance
+    mode: SimulationMode
+    cycles: float
+    ipc: float
+    is_warmup: bool
+    start_cycle: float
+    end_cycle: float
+    worker_id: int
+    active_workers: int
+
+
+@runtime_checkable
+class ModeController(Protocol):
+    """Decides, per task instance, whether to simulate in detail or burst."""
+
+    def choose_mode(
+        self,
+        instance: TaskInstance,
+        worker_id: int,
+        active_workers: int,
+        current_cycle: float,
+    ) -> ModeDecision:
+        """Return the mode decision for ``instance`` about to start."""
+        ...
+
+    def notify_completion(self, info: CompletionInfo) -> None:
+        """Receive the measured timing of a completed instance."""
+        ...
+
+
+class AlwaysDetailedController:
+    """Baseline controller: every task instance is simulated in detail."""
+
+    def choose_mode(
+        self,
+        instance: TaskInstance,
+        worker_id: int,
+        active_workers: int,
+        current_cycle: float,
+    ) -> ModeDecision:
+        """Always choose detailed mode."""
+        return ModeDecision(mode=SimulationMode.DETAILED)
+
+    def notify_completion(self, info: CompletionInfo) -> None:
+        """No state to update."""
+
+
+class FixedIpcController:
+    """Controller that burst-simulates everything at one fixed IPC.
+
+    Useful as a lower bound on simulation cost and for testing the burst
+    machinery in isolation (this corresponds to TaskSim's original burst mode
+    fed with a constant rather than trace-recorded cycle counts).
+    """
+
+    def __init__(self, ipc: float) -> None:
+        if ipc <= 0:
+            raise ValueError("IPC must be positive")
+        self.ipc = ipc
+
+    def choose_mode(
+        self,
+        instance: TaskInstance,
+        worker_id: int,
+        active_workers: int,
+        current_cycle: float,
+    ) -> ModeDecision:
+        """Always choose burst mode at the configured IPC."""
+        return ModeDecision(mode=SimulationMode.BURST, ipc=self.ipc)
+
+    def notify_completion(self, info: CompletionInfo) -> None:
+        """No state to update."""

@@ -1,0 +1,147 @@
+"""Simulation results and per-instance records."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.cost import SimulationCost
+from repro.sim.modes import SimulationMode
+
+
+@dataclass(frozen=True)
+class InstanceResult:
+    """Timing of one simulated task instance."""
+
+    instance_id: int
+    task_type: str
+    worker_id: int
+    mode: SimulationMode
+    instructions: int
+    start_cycle: float
+    end_cycle: float
+    ipc: float
+    is_warmup: bool = False
+
+    @property
+    def cycles(self) -> float:
+        """Execution time of the instance in cycles."""
+        return self.end_cycle - self.start_cycle
+
+
+@dataclass
+class SimulationResult:
+    """Complete outcome of one simulation run.
+
+    Attributes
+    ----------
+    benchmark:
+        Name of the simulated application.
+    architecture:
+        Name of the simulated architecture configuration.
+    num_threads:
+        Number of simulated worker threads.
+    total_cycles:
+        Simulated execution time of the application (makespan).
+    instances:
+        Per-instance timing records, in completion order.
+    cost:
+        Simulation-cost accounting used for deterministic speedup numbers.
+    wall_seconds:
+        Host wall-clock time of the simulation, if measured.
+    """
+
+    benchmark: str
+    architecture: str
+    num_threads: int
+    total_cycles: float
+    instances: List[InstanceResult] = field(default_factory=list)
+    cost: SimulationCost = field(default_factory=SimulationCost)
+    wall_seconds: Optional[float] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_instances(self) -> int:
+        """Number of task instances simulated."""
+        return len(self.instances)
+
+    @property
+    def total_instructions(self) -> int:
+        """Total dynamic instructions across all instances."""
+        return sum(instance.instructions for instance in self.instances)
+
+    @property
+    def detailed_instances(self) -> List[InstanceResult]:
+        """Instances simulated in detailed mode."""
+        return [i for i in self.instances if i.mode is SimulationMode.DETAILED]
+
+    @property
+    def burst_instances(self) -> List[InstanceResult]:
+        """Instances simulated in burst (fast-forward) mode."""
+        return [i for i in self.instances if i.mode is SimulationMode.BURST]
+
+    def average_ipc(self) -> float:
+        """Aggregate IPC of the whole run (instructions / makespan / threads)."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.total_instructions / self.total_cycles
+
+    # ------------------------------------------------------------------
+    def ipc_by_type(self, detailed_only: bool = True) -> Dict[str, List[float]]:
+        """Return the per-instance IPC values grouped by task type.
+
+        By default only detailed-mode, non-warm-up instances are included,
+        because burst-mode IPC is an input of the model, not a measurement.
+        """
+        grouped: Dict[str, List[float]] = defaultdict(list)
+        for instance in self.instances:
+            if detailed_only and instance.mode is not SimulationMode.DETAILED:
+                continue
+            if detailed_only and instance.is_warmup:
+                continue
+            grouped[instance.task_type].append(instance.ipc)
+        return dict(grouped)
+
+    def instances_of(self, task_type: str) -> List[InstanceResult]:
+        """Return the results of all instances of ``task_type``."""
+        return [i for i in self.instances if i.task_type == task_type]
+
+    def error_versus(self, reference: "SimulationResult") -> float:
+        """Absolute relative execution-time error versus ``reference``.
+
+        This is the paper's accuracy metric: ``|T_sampled - T_detailed| /
+        T_detailed``, returned as a fraction (multiply by 100 for percent).
+        """
+        if reference.total_cycles <= 0:
+            raise ValueError("reference simulation has non-positive execution time")
+        return abs(self.total_cycles - reference.total_cycles) / reference.total_cycles
+
+    def speedup_versus(self, reference: "SimulationResult") -> float:
+        """Deterministic (cost-model) simulation speedup versus ``reference``."""
+        return self.cost.speedup_over(reference.cost)
+
+    def wall_speedup_versus(self, reference: "SimulationResult") -> Optional[float]:
+        """Wall-clock speedup versus ``reference``; ``None`` if unmeasured."""
+        if not self.wall_seconds or not reference.wall_seconds:
+            return None
+        if self.wall_seconds <= 0:
+            return None
+        return reference.wall_seconds / self.wall_seconds
+
+    def summary(self) -> Dict[str, object]:
+        """Return a flat summary dictionary for reporting."""
+        return {
+            "benchmark": self.benchmark,
+            "architecture": self.architecture,
+            "threads": self.num_threads,
+            "total_cycles": self.total_cycles,
+            "instances": self.num_instances,
+            "detailed_instances": len(self.detailed_instances),
+            "burst_instances": len(self.burst_instances),
+            "detailed_fraction": self.cost.detailed_fraction,
+            "average_ipc": self.average_ipc(),
+            "cost_units": self.cost.total_units,
+            "wall_seconds": self.wall_seconds,
+        }

@@ -1,0 +1,108 @@
+"""Incremental construction of application traces.
+
+Workload generators describe their task graph instance by instance; the
+:class:`TraceBuilder` takes care of instance numbering, block splitting and
+dependency bookkeeping and finally produces a validated
+:class:`~repro.trace.trace.ApplicationTrace`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.trace.patterns import AddressSpaceAllocator
+from repro.trace.records import MemoryEvent, TaskTraceRecord, make_record
+from repro.trace.trace import ApplicationTrace
+
+
+class TraceBuilder:
+    """Builds an :class:`ApplicationTrace` one task instance at a time.
+
+    The builder also owns an :class:`AddressSpaceAllocator` and a seeded
+    :class:`random.Random` so workload generators have a single source of
+    determinism: two builders created with the same name and seed produce
+    byte-identical traces.
+    """
+
+    def __init__(self, name: str, seed: int = 0) -> None:
+        self.name = name
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.allocator = AddressSpaceAllocator()
+        self._records: List[TaskTraceRecord] = []
+        self._metadata: Dict[str, object] = {"seed": seed}
+
+    # ------------------------------------------------------------------
+    @property
+    def next_instance_id(self) -> int:
+        """Identifier the next :meth:`add_task` call will receive."""
+        return len(self._records)
+
+    @property
+    def num_instances(self) -> int:
+        """Number of task instances added so far."""
+        return len(self._records)
+
+    def last_instance_id(self) -> Optional[int]:
+        """Return the id of the most recently added instance, if any."""
+        if not self._records:
+            return None
+        return self._records[-1].instance_id
+
+    def set_metadata(self, key: str, value: object) -> None:
+        """Attach generator metadata (problem size, scale, ...) to the trace."""
+        self._metadata[key] = value
+
+    # ------------------------------------------------------------------
+    def add_task(
+        self,
+        task_type: str,
+        instructions: int,
+        memory_events: Optional[Sequence[MemoryEvent]] = None,
+        depends_on: Sequence[int] = (),
+        blocks: int = 4,
+    ) -> int:
+        """Add one task instance and return its instance id.
+
+        Parameters mirror :func:`repro.trace.records.make_record`; dependencies
+        must refer to instances already added to this builder.
+        """
+        instance_id = self.next_instance_id
+        for dependency in depends_on:
+            if dependency < 0 or dependency >= instance_id:
+                raise ValueError(
+                    f"dependency {dependency} does not refer to an earlier instance"
+                )
+        record = make_record(
+            instance_id=instance_id,
+            task_type=task_type,
+            instructions=instructions,
+            memory_events=memory_events,
+            depends_on=depends_on,
+            blocks_hint=blocks,
+        )
+        self._records.append(record)
+        return instance_id
+
+    def add_record(self, record: TaskTraceRecord) -> int:
+        """Add a pre-built record, renumbering it to the next instance id."""
+        instance_id = self.next_instance_id
+        renumbered = TaskTraceRecord(
+            instance_id=instance_id,
+            task_type=record.task_type,
+            instructions=record.instructions,
+            blocks=list(record.blocks),
+            depends_on=record.depends_on,
+            creation_order=instance_id,
+        )
+        self._records.append(renumbered)
+        return instance_id
+
+    def build(self) -> ApplicationTrace:
+        """Finalise and validate the trace."""
+        return ApplicationTrace(
+            name=self.name,
+            records=list(self._records),
+            metadata=dict(self._metadata),
+        )

@@ -1,0 +1,111 @@
+"""Serialisation of application traces to and from JSON.
+
+Synthetic traces are cheap to regenerate, but persisting them is useful to
+pin down an exact experiment input (for instance when comparing two simulator
+versions) and mirrors the trace-file workflow of the original TaskSim setup.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.trace.records import ExecutionBlock, MemoryEvent, TaskTraceRecord
+from repro.trace.trace import ApplicationTrace
+
+FORMAT_VERSION = 1
+
+
+def _event_to_dict(event: MemoryEvent) -> dict:
+    return {
+        "a": event.address,
+        "w": int(event.is_write),
+        "n": event.weight,
+        "s": int(event.shared),
+    }
+
+
+def _event_from_dict(data: dict) -> MemoryEvent:
+    return MemoryEvent(
+        address=data["a"],
+        is_write=bool(data["w"]),
+        weight=data["n"],
+        shared=bool(data["s"]),
+    )
+
+
+def _record_to_dict(record: TaskTraceRecord) -> dict:
+    return {
+        "id": record.instance_id,
+        "type": record.task_type,
+        "instructions": record.instructions,
+        "depends_on": list(record.depends_on),
+        "creation_order": record.creation_order,
+        "blocks": [
+            {
+                "instructions": block.instructions,
+                "events": [_event_to_dict(event) for event in block.memory_events],
+            }
+            for block in record.blocks
+        ],
+    }
+
+
+def _record_from_dict(data: dict) -> TaskTraceRecord:
+    blocks = [
+        ExecutionBlock(
+            instructions=block["instructions"],
+            memory_events=tuple(_event_from_dict(event) for event in block["events"]),
+        )
+        for block in data["blocks"]
+    ]
+    return TaskTraceRecord(
+        instance_id=data["id"],
+        task_type=data["type"],
+        instructions=data["instructions"],
+        blocks=blocks,
+        depends_on=tuple(data["depends_on"]),
+        creation_order=data.get("creation_order", data["id"]),
+    )
+
+
+def save_trace(trace: ApplicationTrace, path: Union[str, Path]) -> Path:
+    """Write ``trace`` to ``path`` as (optionally gzipped) JSON.
+
+    A ``.gz`` suffix selects gzip compression.  Returns the path written.
+    """
+    path = Path(path)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "name": trace.name,
+        "metadata": trace.metadata,
+        "records": [_record_to_dict(record) for record in trace.records],
+    }
+    text = json.dumps(payload)
+    if path.suffix == ".gz":
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        path.write_text(text, encoding="utf-8")
+    return path
+
+
+def load_trace(path: Union[str, Path]) -> ApplicationTrace:
+    """Load a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version: {version}")
+    records = [_record_from_dict(entry) for entry in payload["records"]]
+    return ApplicationTrace(
+        name=payload["name"],
+        records=records,
+        metadata=payload.get("metadata", {}),
+    )

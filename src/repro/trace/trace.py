@@ -1,0 +1,207 @@
+"""Application traces: the complete dynamic task graph of a program run.
+
+An :class:`ApplicationTrace` is what the TaskSim-style simulator replays.  It
+contains every task instance created by the (synthetic) program, in creation
+order, together with the dependency edges between them.  The trace also keeps
+aggregate statistics used by Table I of the paper (number of task types,
+number of task instances).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.trace.records import TaskTraceRecord
+
+
+class TraceValidationError(ValueError):
+    """Raised when an application trace violates a structural invariant."""
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Aggregate statistics of an application trace (Table I columns)."""
+
+    name: str
+    num_task_types: int
+    num_task_instances: int
+    total_instructions: int
+    total_memory_accesses: int
+    instances_per_type: Dict[str, int]
+    instructions_per_type: Dict[str, int]
+
+    @property
+    def dominant_task_type(self) -> str:
+        """Task type that accounts for the largest share of instructions."""
+        return max(self.instructions_per_type, key=self.instructions_per_type.get)
+
+    def instruction_share(self, task_type: str) -> float:
+        """Fraction of all dynamic instructions contributed by ``task_type``."""
+        if self.total_instructions == 0:
+            return 0.0
+        return self.instructions_per_type.get(task_type, 0) / self.total_instructions
+
+
+@dataclass
+class ApplicationTrace:
+    """The trace of one application run, replayed by the simulator.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name (e.g. ``"cholesky"``).
+    records:
+        Task-instance trace records in creation order.  ``records[i]`` must
+        have ``instance_id == i``.
+    metadata:
+        Free-form information recorded by the workload generator (problem
+        size, scale factor, seed, ...).
+    """
+
+    name: str
+    records: List[TaskTraceRecord] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`TraceValidationError`.
+
+        Invariants: instance ids are dense and match their position, and
+        dependencies only point to earlier (already created) instances, which
+        guarantees the task graph is acyclic.
+        """
+        for index, record in enumerate(self.records):
+            if record.instance_id != index:
+                raise TraceValidationError(
+                    f"record at position {index} has instance_id {record.instance_id}"
+                )
+            for dependency in record.depends_on:
+                if dependency < 0 or dependency >= index:
+                    raise TraceValidationError(
+                        f"instance {index} depends on {dependency}, which is not an"
+                        " earlier instance"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TaskTraceRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, instance_id: int) -> TaskTraceRecord:
+        return self.records[instance_id]
+
+    @property
+    def task_types(self) -> Tuple[str, ...]:
+        """Names of all task types, in order of first appearance."""
+        seen: List[str] = []
+        known = set()
+        for record in self.records:
+            if record.task_type not in known:
+                known.add(record.task_type)
+                seen.append(record.task_type)
+        return tuple(seen)
+
+    def instances_of(self, task_type: str) -> List[TaskTraceRecord]:
+        """Return all instances of ``task_type`` in creation order."""
+        return [record for record in self.records if record.task_type == task_type]
+
+    def dependents(self) -> Dict[int, List[int]]:
+        """Return the forward dependency map: instance id -> dependent ids."""
+        forward: Dict[int, List[int]] = {record.instance_id: [] for record in self.records}
+        for record in self.records:
+            for dependency in record.depends_on:
+                forward[dependency].append(record.instance_id)
+        return forward
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def statistics(self) -> TraceStatistics:
+        """Compute aggregate statistics (Table I style) for this trace."""
+        instances_per_type: Counter = Counter()
+        instructions_per_type: Counter = Counter()
+        total_instructions = 0
+        total_accesses = 0
+        for record in self.records:
+            instances_per_type[record.task_type] += 1
+            instructions_per_type[record.task_type] += record.instructions
+            total_instructions += record.instructions
+            total_accesses += record.memory_accesses
+        return TraceStatistics(
+            name=self.name,
+            num_task_types=len(instances_per_type),
+            num_task_instances=len(self.records),
+            total_instructions=total_instructions,
+            total_memory_accesses=total_accesses,
+            instances_per_type=dict(instances_per_type),
+            instructions_per_type=dict(instructions_per_type),
+        )
+
+    def critical_path_length(self) -> int:
+        """Return the number of instances on the longest dependency chain.
+
+        Useful to characterise how much parallelism a workload exposes: an
+        embarrassingly parallel kernel has a critical path of 1 while a
+        reduction tree has a logarithmic one and a pipeline a linear one.
+        """
+        depth: Dict[int, int] = {}
+        longest = 0
+        for record in self.records:
+            level = 1
+            for dependency in record.depends_on:
+                level = max(level, depth[dependency] + 1)
+            depth[record.instance_id] = level
+            longest = max(longest, level)
+        return longest
+
+    def max_parallelism(self) -> int:
+        """Upper bound on concurrently-ready instances (instances per level)."""
+        depth: Dict[int, int] = {}
+        per_level: Counter = Counter()
+        for record in self.records:
+            level = 1
+            for dependency in record.depends_on:
+                level = max(level, depth[dependency] + 1)
+            depth[record.instance_id] = level
+            per_level[level] += 1
+        return max(per_level.values()) if per_level else 0
+
+
+def merge_traces(name: str, traces: Sequence[ApplicationTrace]) -> ApplicationTrace:
+    """Concatenate several traces into one program with renumbered instances.
+
+    Dependencies within each input trace are preserved; the phases execute
+    back to back because the first instance of each subsequent trace is made
+    to depend on the last instance of the previous one (a lightweight way to
+    model program phases separated by a taskwait).
+    """
+    records: List[TaskTraceRecord] = []
+    offset = 0
+    previous_last: int | None = None
+    for trace in traces:
+        for record in trace.records:
+            depends = tuple(dep + offset for dep in record.depends_on)
+            if previous_last is not None and not depends:
+                depends = (previous_last,)
+            records.append(
+                TaskTraceRecord(
+                    instance_id=record.instance_id + offset,
+                    task_type=record.task_type,
+                    instructions=record.instructions,
+                    blocks=list(record.blocks),
+                    depends_on=depends,
+                    creation_order=record.instance_id + offset,
+                )
+            )
+        if trace.records:
+            previous_last = trace.records[-1].instance_id + offset
+        offset += len(trace.records)
+    return ApplicationTrace(name=name, records=records)

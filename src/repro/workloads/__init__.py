@@ -1,0 +1,42 @@
+"""The 19 task-based benchmarks of the paper's Table I.
+
+Each benchmark is a :class:`~repro.workloads.base.Workload` that generates an
+:class:`~repro.trace.trace.ApplicationTrace` reproducing the paper's task
+structure: the same number of task types, a (scalable) number of task
+instances, the dependency pattern of the original program and the qualitative
+memory/compute behaviour listed in Table I's *Properties* column.
+
+The benchmarks fall into three groups:
+
+* **kernels** — 2d-convolution, 3d-stencil, atomic-monte-carlo-dynamics,
+  dense-matrix-multiplication, histogram, n-body, reduction,
+  sparse-matrix-vector-multiplication, vector-operation;
+* **applications** — checkSparseLU, cholesky, kmeans, knn;
+* **PARSEC** — blackscholes, bodytrack, canneal, dedup, freqmine, swaptions.
+
+Use :func:`repro.workloads.registry.get_workload` to obtain a workload by
+name and :func:`repro.workloads.registry.list_workloads` to enumerate them.
+"""
+
+from repro.workloads.base import Workload, WorkloadInfo
+from repro.workloads.registry import (
+    APPLICATION_NAMES,
+    KERNEL_NAMES,
+    PARSEC_NAMES,
+    SENSITIVITY_SUBSET,
+    all_workloads,
+    get_workload,
+    list_workloads,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadInfo",
+    "get_workload",
+    "list_workloads",
+    "all_workloads",
+    "KERNEL_NAMES",
+    "APPLICATION_NAMES",
+    "PARSEC_NAMES",
+    "SENSITIVITY_SUBSET",
+]

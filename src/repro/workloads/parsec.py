@@ -1,0 +1,407 @@
+"""The six task-based PARSEC benchmarks of Table I.
+
+blackscholes, bodytrack, canneal, dedup, freqmine and swaptions are the
+benchmarks the paper takes from the task-based PARSEC port.  Two of them are
+the stress cases of the whole evaluation and are modelled accordingly:
+
+* **freqmine** — one of its seven task types accounts for ~93% of the dynamic
+  instructions and its instances span a huge size range (490 to 11,000,000
+  instructions in the paper) because of control-flow divergence inside the
+  task body.  The generator reproduces the dominant type with a heavy-tailed
+  size distribution and an input-dependent memory intensity, which is what
+  makes it the benchmark with the largest sampling error.
+* **dedup** — its dominant task type performs de-duplication plus
+  compression, whose work is strongly input dependent (3.5M to 25.1M
+  instructions in the paper).  The generator gives that type a wide size and
+  memory-intensity distribution and a pipeline dependency structure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.trace.generator import TraceBuilder
+from repro.workloads.base import Workload
+
+
+class BlackScholes(Workload):
+    """blackscholes: per-chunk option pricing, highly regular and compute bound."""
+
+    name = "blackscholes"
+    category = "parsec"
+    paper_task_types = 2
+    paper_task_instances = 24500
+    properties = "Option price calculation"
+
+    def build(self, builder: TraceBuilder, num_instances: int, rng: random.Random) -> None:
+        options = builder.allocator.allocate(512 * 1024 * 1024)
+        results = builder.allocator.allocate(4 * 1024 * 1024)
+        price_share = int(num_instances * 0.96)
+        aggregate_share = num_instances - price_share
+        chunk_bytes = 16 * 1024
+        price_ids: List[int] = []
+        for index in range(price_share):
+            instructions = self.jittered(rng, 30_000, jitter=0.02)
+            events = self.combine(
+                self.streaming_events(
+                    rng, options, events=20, accesses=instructions // 8,
+                    start=(index * chunk_bytes) % options.size,
+                ),
+                self.reuse_events(
+                    rng, results, events=8, accesses=instructions // 30,
+                    hot_lines=8, write_fraction=0.9,
+                ),
+            )
+            price_ids.append(
+                builder.add_task(
+                    "price_options", instructions=instructions, memory_events=events
+                )
+            )
+        group = max(1, price_share // max(1, aggregate_share))
+        for index in range(aggregate_share):
+            instructions = self.jittered(rng, 7_000, jitter=0.05)
+            events = self.streaming_events(
+                rng, results, events=10, accesses=instructions // 10,
+                start=rng.randrange(results.size),
+            )
+            deps = price_ids[index * group : (index + 1) * group][:6]
+            builder.add_task(
+                "aggregate_prices",
+                instructions=instructions,
+                memory_events=events,
+                depends_on=deps,
+            )
+
+
+class BodyTrack(Workload):
+    """bodytrack: a per-frame pipeline of seven task types."""
+
+    name = "bodytrack"
+    category = "parsec"
+    paper_task_types = 7
+    paper_task_instances = 21439
+    properties = "Human body tracking with multiple cameras"
+
+    def build(self, builder: TraceBuilder, num_instances: int, rng: random.Random) -> None:
+        frames = builder.allocator.allocate(256 * 1024 * 1024)
+        particles = builder.allocator.allocate(1024 * 1024)
+        model = builder.allocator.allocate(512 * 1024, shared=True)
+        # Each frame: 1 read, E edge tasks, G gradient tasks, W particle-weight
+        # tasks (dominant), 1 resample, 1 annealing step, 1 pose update.
+        per_frame = 64
+        frames_needed = max(1, num_instances // per_frame)
+        previous_pose: List[int] = []
+        created = 0
+        for frame in range(frames_needed):
+            if created >= num_instances:
+                break
+            read_id = builder.add_task(
+                "read_frame",
+                instructions=self.jittered(rng, 9_000, jitter=0.05),
+                memory_events=self.streaming_events(
+                    rng, frames, events=18, accesses=3_000,
+                    start=(frame * 64 * 1024) % frames.size,
+                ),
+                depends_on=previous_pose,
+            )
+            created += 1
+            edge_ids = []
+            for _ in range(10):
+                if created >= num_instances:
+                    break
+                instructions = self.jittered(rng, 20_000, jitter=0.04)
+                edge_ids.append(
+                    builder.add_task(
+                        "edge_detection",
+                        instructions=instructions,
+                        memory_events=self.streaming_events(
+                            rng, frames, events=22, accesses=instructions // 6,
+                            start=rng.randrange(frames.size),
+                        ),
+                        depends_on=[read_id],
+                    )
+                )
+                created += 1
+            gradient_ids = []
+            for _ in range(8):
+                if created >= num_instances:
+                    break
+                instructions = self.jittered(rng, 17_000, jitter=0.04)
+                gradient_ids.append(
+                    builder.add_task(
+                        "image_gradient",
+                        instructions=instructions,
+                        memory_events=self.streaming_events(
+                            rng, frames, events=18, accesses=instructions // 7,
+                            start=rng.randrange(frames.size),
+                        ),
+                        depends_on=edge_ids[-2:] if edge_ids else [read_id],
+                    )
+                )
+                created += 1
+            weight_ids = []
+            for _ in range(40):
+                if created >= num_instances:
+                    break
+                instructions = self.jittered(rng, 24_000, jitter=0.06)
+                weight_ids.append(
+                    builder.add_task(
+                        "particle_weights",
+                        instructions=instructions,
+                        memory_events=self.combine(
+                            self.irregular_events(
+                                rng, particles, events=20, accesses=instructions // 8
+                            ),
+                            self.reuse_events(
+                                rng, model, events=10, accesses=instructions // 14,
+                                hot_lines=16,
+                            ),
+                        ),
+                        depends_on=gradient_ids[-2:] if gradient_ids else [read_id],
+                    )
+                )
+                created += 1
+            stage_deps = weight_ids[-6:] if weight_ids else [read_id]
+            resample_id = builder.add_task(
+                "resample_particles",
+                instructions=self.jittered(rng, 12_000, jitter=0.05),
+                memory_events=self.streaming_events(
+                    rng, particles, events=16, accesses=4_000, write_fraction=0.6
+                ),
+                depends_on=stage_deps,
+            )
+            created += 1
+            anneal_id = builder.add_task(
+                "annealing_step",
+                instructions=self.jittered(rng, 14_000, jitter=0.05),
+                memory_events=self.reuse_events(
+                    rng, model, events=12, accesses=4_000, hot_lines=12,
+                    write_fraction=0.4,
+                ),
+                depends_on=[resample_id],
+            )
+            created += 1
+            pose_id = builder.add_task(
+                "pose_update",
+                instructions=self.jittered(rng, 8_000, jitter=0.05),
+                memory_events=self.reuse_events(
+                    rng, model, events=8, accesses=2_000, hot_lines=8,
+                    write_fraction=0.8,
+                ),
+                depends_on=[anneal_id],
+            )
+            created += 1
+            previous_pose = [pose_id]
+
+
+class Canneal(Workload):
+    """canneal: cache-aware simulated annealing over a large shared netlist."""
+
+    name = "canneal"
+    category = "parsec"
+    paper_task_types = 1
+    paper_task_instances = 16384
+    properties = "Cache-aware simulated annealing"
+
+    def build(self, builder: TraceBuilder, num_instances: int, rng: random.Random) -> None:
+        netlist = builder.allocator.allocate(96 * 1024 * 1024, shared=True)
+        for _ in range(num_instances):
+            instructions = self.jittered(rng, 21_000, jitter=0.05)
+            events = self.irregular_events(
+                rng, netlist, events=46, accesses=instructions // 6, write_fraction=0.2
+            )
+            builder.add_task(
+                "anneal_moves", instructions=instructions, memory_events=events
+            )
+
+
+class Dedup(Workload):
+    """dedup: chunk/hash/compress/write pipeline with input-dependent work."""
+
+    name = "dedup"
+    category = "parsec"
+    paper_task_types = 4
+    paper_task_instances = 15738
+    properties = "Deduplication: combination of global and local compression"
+
+    def build(self, builder: TraceBuilder, num_instances: int, rng: random.Random) -> None:
+        stream = builder.allocator.allocate(64 * 1024 * 1024)
+        hash_table = builder.allocator.allocate(8 * 1024 * 1024, shared=True)
+        output = builder.allocator.allocate(32 * 1024 * 1024)
+        # Pipeline stages per data segment: chunk -> hash -> compress -> write.
+        # Compression dominates (99.9% of instructions in the paper) and its
+        # work per instance is strongly input dependent.
+        segments = max(1, num_instances // 4)
+        created = 0
+        previous_chunk: List[int] = []
+        for segment in range(segments):
+            if created >= num_instances:
+                break
+            # Chunking reads the input stream in order (serial stage); the
+            # hash/compress/write stages of different segments overlap.
+            chunk_id = builder.add_task(
+                "chunk_segment",
+                instructions=self.jittered(rng, 4_000, jitter=0.1),
+                memory_events=self.streaming_events(
+                    rng, stream, events=10, accesses=1_500,
+                    start=(segment * 64 * 1024) % stream.size,
+                ),
+                depends_on=previous_chunk[-1:],
+            )
+            previous_chunk = [chunk_id]
+            created += 1
+            if created >= num_instances:
+                break
+            hash_id = builder.add_task(
+                "hash_chunk",
+                instructions=self.jittered(rng, 5_000, jitter=0.1),
+                memory_events=self.irregular_events(
+                    rng, hash_table, events=12, accesses=1_800, write_fraction=0.3
+                ),
+                depends_on=[chunk_id],
+            )
+            created += 1
+            if created >= num_instances:
+                break
+            # Input dependence: both the amount of work and its memory
+            # intensity vary widely between segments (compressible vs. not).
+            compress_instructions = self.lognormal(rng, 60_000, sigma=0.5)
+            compressibility = rng.uniform(0.3, 2.2)
+            compress_events = self.combine(
+                self.streaming_events(
+                    rng, stream, events=int(24 * compressibility) + 6,
+                    accesses=int(compress_instructions * 0.12 * compressibility) + 64,
+                    start=(segment * 64 * 1024) % stream.size,
+                ),
+                self.irregular_events(
+                    rng, hash_table, events=10,
+                    accesses=max(64, compress_instructions // 50),
+                ),
+            )
+            compress_id = builder.add_task(
+                "compress_chunk",
+                instructions=compress_instructions,
+                memory_events=compress_events,
+                depends_on=[hash_id],
+            )
+            created += 1
+            if created >= num_instances:
+                break
+            builder.add_task(
+                "write_output",
+                instructions=self.jittered(rng, 3_500, jitter=0.1),
+                memory_events=self.streaming_events(
+                    rng, output, events=8, accesses=1_200,
+                    start=rng.randrange(output.size), write_fraction=1.0,
+                ),
+                depends_on=[compress_id],
+            )
+            created += 1
+
+
+class FreqMine(Workload):
+    """freqmine: FP-growth frequent itemset mining with divergent task sizes."""
+
+    name = "freqmine"
+    category = "parsec"
+    paper_task_types = 7
+    paper_task_instances = 1932
+    properties = "Frequent Pattern Growth method for Frequent Item Mining"
+    min_instances = 400
+
+    def build(self, builder: TraceBuilder, num_instances: int, rng: random.Random) -> None:
+        transactions = builder.allocator.allocate(48 * 1024 * 1024)
+        fp_tree = builder.allocator.allocate(24 * 1024 * 1024, shared=True)
+        results = builder.allocator.allocate(4 * 1024 * 1024)
+
+        helper_types = [
+            "scan_database", "count_items", "sort_items",
+            "build_fp_tree", "prune_tree", "write_itemsets",
+        ]
+        helper_budget = max(len(helper_types), int(num_instances * 0.12))
+        mining_budget = num_instances - helper_budget
+
+        # Helper phases: small, regular tasks (the last helper type,
+        # write_itemsets, is emitted in the output phase below).
+        setup_ids: List[int] = []
+        per_helper = max(1, helper_budget // len(helper_types))
+        created = 0
+        for type_index, task_type in enumerate(helper_types[:5]):
+            for _ in range(per_helper):
+                if created >= helper_budget:
+                    break
+                instructions = self.jittered(rng, 8_000, jitter=0.08)
+                events = self.streaming_events(
+                    rng, transactions, events=14, accesses=instructions // 6,
+                    start=rng.randrange(transactions.size),
+                )
+                deps = setup_ids[-2:] if type_index else []
+                setup_ids.append(
+                    builder.add_task(
+                        task_type,
+                        instructions=instructions,
+                        memory_events=events,
+                        depends_on=deps,
+                    )
+                )
+                created += 1
+
+        # Dominant mining type: conditional FP-tree mining whose work spans
+        # several orders of magnitude (control-flow divergence inside one
+        # task type).  Memory intensity also varies with the explored tree.
+        mining_ids: List[int] = []
+        for _ in range(mining_budget):
+            instructions = self.lognormal(rng, 28_000, sigma=1.3)
+            instructions = min(instructions, 1_400_000)
+            intensity = rng.uniform(0.6, 1.6)
+            events = self.irregular_events(
+                rng, fp_tree,
+                events=min(70, int(14 * intensity) + 6),
+                accesses=max(64, int(instructions * 0.1 * intensity)),
+                write_fraction=0.15,
+            )
+            mining_ids.append(
+                builder.add_task(
+                    "mine_conditional_tree",
+                    instructions=instructions,
+                    memory_events=events,
+                    depends_on=setup_ids[-1:],
+                )
+            )
+        # Output phase.
+        remaining = num_instances - builder.num_instances
+        for _ in range(max(0, remaining)):
+            instructions = self.jittered(rng, 6_000, jitter=0.1)
+            builder.add_task(
+                "write_itemsets",
+                instructions=instructions,
+                memory_events=self.streaming_events(
+                    rng, results, events=8, accesses=instructions // 8,
+                    start=rng.randrange(results.size), write_fraction=0.8,
+                ),
+                depends_on=mining_ids[-2:] if mining_ids else [],
+            )
+
+
+class Swaptions(Workload):
+    """swaptions: Monte-Carlo swaption pricing, regular and compute bound."""
+
+    name = "swaptions"
+    category = "parsec"
+    paper_task_types = 1
+    paper_task_instances = 16384
+    properties = "Monte-Carlo simulation to calculate swaption prices"
+
+    def build(self, builder: TraceBuilder, num_instances: int, rng: random.Random) -> None:
+        swaptions = builder.allocator.allocate(8 * 1024 * 1024)
+        for index in range(num_instances):
+            instructions = self.jittered(rng, 44_000, jitter=0.02)
+            events = self.reuse_events(
+                rng, swaptions.slice((index * 4096) % swaptions.size, 4096),
+                events=14, accesses=instructions // 20, hot_lines=12,
+                write_fraction=0.2,
+            )
+            builder.add_task(
+                "simulate_swaption", instructions=instructions, memory_events=events
+            )

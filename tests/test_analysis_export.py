@@ -1,0 +1,98 @@
+"""Tests for CSV/JSON export of analysis results."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.accuracy import AccuracyResult
+from repro.analysis.export import (
+    accuracy_rows,
+    export_accuracy,
+    export_sweep,
+    export_variation,
+    sweep_rows,
+    variation_rows,
+    write_csv,
+    write_json,
+)
+from repro.analysis.sweep import SweepPoint
+from repro.analysis.variation import ipc_variation
+from repro.sim.simulator import simulate
+
+from tests.conftest import build_two_type_trace
+
+
+def _accuracy_result(benchmark="bench", threads=8):
+    return AccuracyResult(
+        benchmark=benchmark,
+        architecture="high-performance",
+        num_threads=threads,
+        error_percent=1.5,
+        speedup=20.0,
+        wall_speedup=None,
+        detailed_cycles=1_000_000.0,
+        sampled_cycles=1_015_000.0,
+        detailed_fraction=0.05,
+        resamples=1,
+    )
+
+
+class TestRowFlattening:
+    def test_accuracy_rows(self):
+        rows = accuracy_rows([_accuracy_result(), _accuracy_result(threads=16)])
+        assert len(rows) == 2
+        assert rows[0]["benchmark"] == "bench"
+        assert rows[1]["threads"] == 16
+        assert rows[0]["error_percent"] == 1.5
+
+    def test_sweep_rows(self):
+        points = [SweepPoint("W", 2, 1.0, 10.0, 10)]
+        rows = sweep_rows(points)
+        assert rows[0]["parameter"] == "W"
+        assert rows[0]["value"] == 2
+
+    def test_variation_rows(self):
+        trace = build_two_type_trace(num_instances=40)
+        reports = {"two-type": ipc_variation(simulate(trace, num_threads=2))}
+        rows = variation_rows(reports)
+        assert rows[0]["benchmark"] == "two-type"
+        assert rows[0]["instances"] == 40
+        assert isinstance(rows[0]["within_5_percent"], bool)
+
+
+class TestWriters:
+    def test_write_csv_roundtrip(self, tmp_path):
+        path = write_csv(accuracy_rows([_accuracy_result()]), tmp_path / "acc.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 1
+        assert rows[0]["benchmark"] == "bench"
+        assert float(rows[0]["speedup"]) == 20.0
+
+    def test_write_json_roundtrip(self, tmp_path):
+        path = write_json(accuracy_rows([_accuracy_result()]), tmp_path / "acc.json")
+        data = json.loads(path.read_text())
+        assert data[0]["threads"] == 8
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv([], tmp_path / "empty.csv")
+        with pytest.raises(ValueError):
+            write_json([], tmp_path / "empty.json")
+
+    def test_export_dispatch_on_suffix(self, tmp_path):
+        results = [_accuracy_result()]
+        csv_path = export_accuracy(results, tmp_path / "out.csv")
+        json_path = export_accuracy(results, tmp_path / "out.json")
+        assert csv_path.suffix == ".csv"
+        assert json.loads(json_path.read_text())[0]["benchmark"] == "bench"
+
+    def test_export_sweep_and_variation(self, tmp_path):
+        sweep_path = export_sweep([SweepPoint("P", 250, 1.2, 9.9, 10)],
+                                  tmp_path / "sweep.csv")
+        assert sweep_path.exists()
+        trace = build_two_type_trace(num_instances=30)
+        reports = {"two-type": ipc_variation(simulate(trace, num_threads=2))}
+        variation_path = export_variation(reports, tmp_path / "variation.json")
+        assert json.loads(variation_path.read_text())[0]["benchmark"] == "two-type"

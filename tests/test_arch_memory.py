@@ -1,0 +1,135 @@
+"""Unit tests for DRAM, interconnect and the cache hierarchy / memory system."""
+
+import pytest
+
+from repro.arch.config import MemoryConfig, high_performance_config, low_power_config
+from repro.arch.dram import DramModel
+from repro.arch.hierarchy import MemorySystem
+from repro.arch.interconnect import Interconnect
+
+
+class TestDram:
+    def test_latency_at_least_base(self):
+        dram = DramModel(MemoryConfig(dram_latency_cycles=100))
+        assert dram.access_latency(active_cores=1) >= 100
+
+    def test_latency_grows_with_contention(self):
+        dram = DramModel(MemoryConfig())
+        low = dram.access_latency(active_cores=1)
+        high = dram.access_latency(active_cores=32)
+        assert high > low
+
+    def test_latency_stays_finite_at_high_core_counts(self):
+        dram = DramModel(MemoryConfig())
+        assert dram.access_latency(active_cores=10_000) < 100_000
+
+    def test_zero_active_cores_treated_as_one(self):
+        dram = DramModel(MemoryConfig())
+        assert dram.access_latency(active_cores=0) == pytest.approx(
+            DramModel(MemoryConfig()).access_latency(active_cores=1)
+        )
+
+    def test_statistics(self):
+        dram = DramModel(MemoryConfig())
+        dram.access_latency(1)
+        dram.access_latency(2)
+        assert dram.stats.requests == 2
+        assert dram.stats.average_latency > 0
+        dram.reset_statistics()
+        assert dram.stats.requests == 0
+
+
+class TestInterconnect:
+    def test_contention_linear_in_active_cores(self):
+        config = MemoryConfig(interconnect_latency_cycles=10,
+                              interconnect_contention_per_core=2.0)
+        link = Interconnect(config)
+        assert link.transfer_latency(1) == 10.0
+        assert link.transfer_latency(5) == 10.0 + 2.0 * 4
+
+    def test_statistics(self):
+        link = Interconnect(MemoryConfig())
+        link.transfer_latency(1)
+        assert link.stats.transfers == 1
+        link.reset_statistics()
+        assert link.stats.transfers == 0
+
+
+class TestMemorySystem:
+    def test_high_perf_layout(self):
+        system = MemorySystem(high_performance_config(), num_cores=4)
+        assert len(system.hierarchies) == 4
+        # L1 and L2 private, L3 shared.
+        assert [cache.name for cache in system.hierarchy(0).private_caches] == ["L1", "L2"]
+        assert [cache.name for cache in system.shared_caches] == ["L3"]
+        # The shared cache object is literally shared between hierarchies.
+        assert system.hierarchy(0).shared_caches[0] is system.hierarchy(3).shared_caches[0]
+
+    def test_low_power_layout(self):
+        system = MemorySystem(low_power_config(), num_cores=2)
+        assert [cache.name for cache in system.hierarchy(0).private_caches] == ["L1"]
+        assert [cache.name for cache in system.shared_caches] == ["L2"]
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            MemorySystem(high_performance_config(), num_cores=0)
+
+    def test_access_latency_ordering(self):
+        system = MemorySystem(high_performance_config(), num_cores=1)
+        hierarchy = system.hierarchy(0)
+        first = hierarchy.access(0x10000, is_write=False)
+        second = hierarchy.access(0x10000, is_write=False)
+        assert first.hit is False
+        assert first.level == "DRAM"
+        assert second.hit is True
+        assert second.level == "L1"
+        assert second.latency < first.latency
+
+    def test_miss_latency_includes_dram(self):
+        config = high_performance_config()
+        system = MemorySystem(config, num_cores=1)
+        result = system.hierarchy(0).access(0x2000, is_write=False)
+        minimum = (
+            config.l1.latency_cycles + config.l2.latency_cycles + config.l3.latency_cycles
+            + config.memory.dram_latency_cycles
+        )
+        assert result.latency >= minimum
+
+    def test_remote_invalidation(self):
+        system = MemorySystem(high_performance_config(), num_cores=2)
+        address = 0x8000
+        system.hierarchy(0).access(address, is_write=False)
+        system.hierarchy(1).access(address, is_write=False)
+        system.invalidate_remote(writer_core=1, address=address)
+        # Core 0 lost its private copies; core 1 keeps them.
+        assert system.hierarchy(0).private_caches[0].probe(address) is False
+        assert system.hierarchy(1).private_caches[0].probe(address) is True
+
+    def test_reset_statistics(self):
+        system = MemorySystem(high_performance_config(), num_cores=2)
+        system.hierarchy(0).access(0x1234, is_write=False)
+        system.reset_statistics()
+        assert system.dram.stats.requests == 0
+        for cache in system.hierarchy(0).private_caches:
+            assert cache.stats.accesses == 0
+
+    def test_cache_snapshot_structure(self):
+        system = MemorySystem(low_power_config(), num_cores=2)
+        system.hierarchy(1).access(0x40, is_write=True)
+        snapshot = system.cache_snapshot()
+        assert len(snapshot["private"]) == 2
+        assert len(snapshot["shared"]) == 1
+        assert "dram_avg_latency" in snapshot
+
+    def test_low_power_two_level_miss_reaches_dram(self):
+        system = MemorySystem(low_power_config(), num_cores=1)
+        result = system.hierarchy(0).access(0xABCDE0, is_write=False)
+        assert result.level == "DRAM"
+
+    def test_hierarchy_occupancy_increases(self):
+        system = MemorySystem(high_performance_config(), num_cores=1)
+        hierarchy = system.hierarchy(0)
+        assert hierarchy.occupancy() == 0.0
+        for i in range(100):
+            hierarchy.access(i * 64, is_write=False)
+        assert hierarchy.occupancy() > 0.0

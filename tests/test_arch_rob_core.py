@@ -1,0 +1,136 @@
+"""Unit tests for the ROB-occupancy model and the detailed core model."""
+
+import pytest
+
+from repro.arch.config import CoreConfig, high_performance_config, low_power_config
+from repro.arch.core import DetailedCoreModel
+from repro.arch.hierarchy import MemorySystem
+from repro.arch.rob import RobModel
+from repro.trace.records import MemoryEvent, make_record
+
+
+def make_rob(rob_size=168, issue_width=4):
+    return RobModel(CoreConfig(rob_size=rob_size, issue_width=issue_width,
+                               commit_width=issue_width), l1_latency=4.0)
+
+
+class TestRobModel:
+    def test_dispatch_cycles(self):
+        rob = make_rob()
+        assert rob.dispatch_cycles(400) == pytest.approx(100.0)
+        assert rob.dispatch_cycles(0) == 0.0
+
+    def test_no_memory_no_stall(self):
+        timing = make_rob().block_cycles(1000, [])
+        assert timing.stall_cycles == 0.0
+        assert timing.total_cycles == pytest.approx(250.0)
+
+    def test_short_latencies_fully_hidden(self):
+        timing = make_rob().block_cycles(1000, [4.0, 3.0, 4.0])
+        assert timing.stall_cycles == 0.0
+
+    def test_long_latency_exposes_stall(self):
+        rob = make_rob()
+        timing = rob.block_cycles(100, [400.0])
+        expected_exposed = 400.0 - rob.hide_capacity()
+        assert timing.stall_cycles == pytest.approx(expected_exposed)
+
+    def test_latency_below_hide_capacity_hidden(self):
+        rob = make_rob(rob_size=168, issue_width=4)  # hide capacity 42 cycles
+        timing = rob.block_cycles(100, [30.0])
+        assert timing.stall_cycles == 0.0
+
+    def test_mlp_overlaps_independent_misses(self):
+        rob = make_rob()
+        one = rob.block_cycles(100, [400.0]).stall_cycles
+        many = rob.block_cycles(100, [400.0] * 4).stall_cycles
+        # Four misses overlap: far less than four times the single-miss stall.
+        assert many < 4 * one
+        assert many >= one
+
+    def test_smaller_rob_exposes_more_latency(self):
+        big = make_rob(rob_size=168).block_cycles(100, [300.0]).stall_cycles
+        small = make_rob(rob_size=40, issue_width=3).block_cycles(100, [300.0]).stall_cycles
+        assert small > big
+
+    def test_weights_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            make_rob().block_cycles(10, [100.0], memory_weights=[1, 2])
+
+    def test_repeated_accesses_add_small_cost(self):
+        rob = make_rob()
+        without = rob.block_cycles(100, [400.0], memory_weights=[1]).total_cycles
+        with_repeat = rob.block_cycles(100, [400.0], memory_weights=[50]).total_cycles
+        assert with_repeat > without
+
+
+class TestDetailedCoreModel:
+    def _model(self, config=None, cores=1):
+        config = config or high_performance_config()
+        system = MemorySystem(config, num_cores=cores)
+        rob = RobModel(config.core, l1_latency=config.l1.latency_cycles)
+        return DetailedCoreModel(0, system, rob), system
+
+    def _record(self, instructions=10_000, events=16, region=0x100000):
+        memory = [MemoryEvent(address=region + i * 64, weight=5) for i in range(events)]
+        return make_record(0, "work", instructions, memory_events=memory, blocks_hint=4)
+
+    def test_ipc_bounded_by_issue_width(self):
+        model, _ = self._model()
+        execution = model.execute(self._record())
+        assert 0.0 < execution.ipc <= 4.0
+
+    def test_repeat_execution_faster_due_to_warm_caches(self):
+        model, _ = self._model()
+        record = self._record()
+        cold = model.execute(record)
+        warm = model.execute(record)
+        assert warm.cycles < cold.cycles
+        assert warm.cache_misses < cold.cache_misses
+
+    def test_contention_slows_execution(self):
+        model_alone, _ = self._model(cores=4)
+        record = self._record(events=32)
+        alone = model_alone.execute(record, active_cores=1)
+        model_contended, _ = self._model(cores=4)
+        contended = model_contended.execute(record, active_cores=4)
+        assert contended.cycles > alone.cycles
+
+    def test_noise_scales_cycles(self):
+        model, _ = self._model()
+        record = self._record()
+        base = model.execute(record)
+        model_noise, _ = self._model()
+        noisy = model_noise.execute(record, noise=1.5)
+        assert noisy.cycles == pytest.approx(base.cycles * 1.5, rel=1e-6)
+
+    def test_low_power_slower_than_high_performance(self):
+        record = self._record(instructions=20_000, events=24)
+        high, _ = self._model(high_performance_config())
+        low, _ = self._model(low_power_config())
+        assert low.execute(record).cycles > high.execute(record).cycles
+
+    def test_empty_instance_still_positive_cycles(self):
+        model, _ = self._model()
+        record = make_record(0, "empty", 0)
+        execution = model.execute(record)
+        assert execution.cycles >= 1.0
+
+    def test_shared_write_invalidates_remote_copies(self):
+        config = high_performance_config()
+        system = MemorySystem(config, num_cores=2)
+        rob = RobModel(config.core, l1_latency=config.l1.latency_cycles)
+        writer = DetailedCoreModel(0, system, rob)
+        reader = DetailedCoreModel(1, system, rob)
+        address = 0x700000
+        shared_read = make_record(
+            0, "reader", 1000, memory_events=[MemoryEvent(address=address, shared=True)]
+        )
+        reader.execute(shared_read)
+        assert system.hierarchy(1).private_caches[0].probe(address) is True
+        shared_write = make_record(
+            0, "writer", 1000,
+            memory_events=[MemoryEvent(address=address, is_write=True, shared=True)],
+        )
+        writer.execute(shared_write)
+        assert system.hierarchy(1).private_caches[0].probe(address) is False

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "cholesky"])
+        assert args.benchmark == "cholesky"
+        assert args.threads == 8
+        assert args.mode == "sampled"
+        assert args.policy == "periodic"
+
+    def test_compare_lazy_policy(self):
+        args = build_parser().parse_args(
+            ["compare", "dedup", "--policy", "lazy", "--threads", "4"]
+        )
+        assert args.policy == "lazy"
+        assert args.threads == 4
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_prints_all_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "cholesky" in output
+        assert "freqmine" in output
+        assert output.count("\n") >= 20
+
+    def test_compare_runs_small_experiment(self, capsys):
+        code = main([
+            "compare", "swaptions", "--scale", "0.004", "--threads", "2",
+            "--policy", "lazy",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "execution-time error" in output
+        assert "simulation speedup" in output
+
+    def test_simulate_detailed_mode(self, capsys):
+        code = main([
+            "simulate", "vector-operation", "--scale", "0.004", "--threads", "2",
+            "--mode", "detailed",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "total_cycles" in output
+
+    def test_simulate_sampled_low_power(self, capsys):
+        code = main([
+            "simulate", "histogram", "--scale", "0.004", "--threads", "2",
+            "--architecture", "low-power",
+        ])
+        assert code == 0
+        assert "benchmark" in capsys.readouterr().out
+
+    def test_variation_command(self, capsys):
+        code = main(["variation", "swaptions", "--scale", "0.004", "--threads", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "within +/-5%" in output
+        assert "simulate_swaption" in output
+
+    def test_unknown_benchmark_exit_code(self, capsys):
+        assert main(["compare", "not-a-benchmark", "--scale", "0.01"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,76 @@
+"""Unit tests for the sampling policies."""
+
+import pytest
+
+from repro.core.policies import (
+    AdaptiveSamplingPolicy,
+    LazySamplingPolicy,
+    PeriodicSamplingPolicy,
+    make_policy,
+)
+
+
+class TestPeriodicPolicy:
+    def test_triggers_at_period(self):
+        policy = PeriodicSamplingPolicy(period=10)
+        assert not policy.should_resample(9)
+        assert policy.should_resample(10)
+        assert policy.should_resample(11)
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            PeriodicSamplingPolicy(period=0)
+
+    def test_name(self):
+        assert PeriodicSamplingPolicy(5).name == "periodic"
+
+
+class TestLazyPolicy:
+    def test_never_triggers(self):
+        policy = LazySamplingPolicy()
+        assert not policy.should_resample(0)
+        assert not policy.should_resample(10 ** 9)
+
+    def test_name(self):
+        assert LazySamplingPolicy().name == "lazy"
+
+
+class TestAdaptivePolicy:
+    def test_period_shrinks_on_high_dispersion(self):
+        policy = AdaptiveSamplingPolicy(initial_period=200, min_period=50,
+                                        max_period=800, target_dispersion=0.05)
+        policy.observe_dispersion(0.30)
+        assert policy.period == 100
+        policy.observe_dispersion(0.30)
+        assert policy.period == 50
+        policy.observe_dispersion(0.30)
+        assert policy.period == 50  # clamped at min
+
+    def test_period_grows_on_low_dispersion(self):
+        policy = AdaptiveSamplingPolicy(initial_period=200, max_period=300)
+        policy.observe_dispersion(0.01)
+        assert policy.period == 251
+        policy.observe_dispersion(0.01)
+        assert policy.period == 300  # clamped at max
+
+    def test_should_resample_uses_current_period(self):
+        policy = AdaptiveSamplingPolicy(initial_period=100, min_period=10)
+        assert not policy.should_resample(60)
+        policy.observe_dispersion(1.0)
+        assert policy.should_resample(60)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveSamplingPolicy(initial_period=10, min_period=20, max_period=30)
+        with pytest.raises(ValueError):
+            AdaptiveSamplingPolicy(target_dispersion=0.0)
+
+
+class TestMakePolicy:
+    def test_none_gives_lazy(self):
+        assert isinstance(make_policy(None), LazySamplingPolicy)
+
+    def test_integer_gives_periodic(self):
+        policy = make_policy(250)
+        assert isinstance(policy, PeriodicSamplingPolicy)
+        assert policy.period == 250

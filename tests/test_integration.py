@@ -1,0 +1,125 @@
+"""End-to-end integration tests across the whole stack.
+
+These tests reproduce, at a very small scale, the paper's central claims:
+TaskPoint predicts execution time accurately (small error versus full
+detailed simulation), is much cheaper than detailed simulation, and behaves
+consistently across sampling policies, architectures and thread counts.
+"""
+
+import pytest
+
+from repro import (
+    compare_with_detailed,
+    get_workload,
+    high_performance_config,
+    lazy_config,
+    low_power_config,
+    periodic_config,
+    sampled_simulation,
+    simulate,
+)
+from repro.analysis.variation import ipc_variation
+from repro.core.config import TaskPointConfig
+from repro.sim.modes import SimulationMode
+
+SCALE = 0.02
+SEED = 1
+
+
+@pytest.fixture(scope="module")
+def regular_trace():
+    """A regular kernel: per-type IPC is homogeneous, sampling should excel."""
+    return get_workload("2d-convolution").generate(scale=SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def irregular_trace():
+    """An application with dependencies and several task types."""
+    return get_workload("cholesky").generate(scale=SCALE, seed=SEED)
+
+
+class TestHeadlineClaims:
+    def test_lazy_sampling_accurate_and_fast_on_regular_kernel(self, regular_trace):
+        comparison = compare_with_detailed(
+            regular_trace, num_threads=8, config=lazy_config()
+        )
+        assert comparison.error_percent < 3.0
+        assert comparison.speedup > 5.0
+
+    def test_periodic_sampling_accurate_on_application(self, irregular_trace):
+        comparison = compare_with_detailed(
+            irregular_trace, num_threads=8, config=periodic_config()
+        )
+        assert comparison.error_percent < 10.0
+        assert comparison.speedup > 1.0
+
+    def test_sampled_total_time_close_in_both_architectures(self, regular_trace):
+        for architecture in (high_performance_config(), low_power_config()):
+            comparison = compare_with_detailed(
+                regular_trace, num_threads=4, architecture=architecture,
+                config=lazy_config(),
+            )
+            assert comparison.error_percent < 5.0, architecture.name
+
+    def test_speedup_decreases_with_thread_count(self, regular_trace):
+        speedups = []
+        for threads in (1, 8, 32):
+            comparison = compare_with_detailed(
+                regular_trace, num_threads=threads, config=lazy_config()
+            )
+            speedups.append(comparison.speedup)
+        assert speedups[0] > speedups[1] > speedups[2]
+
+    def test_low_power_slower_than_high_performance(self, regular_trace):
+        high = simulate(regular_trace, num_threads=4,
+                        architecture=high_performance_config())
+        low = simulate(regular_trace, num_threads=4, architecture=low_power_config())
+        assert low.total_cycles > high.total_cycles
+
+
+class TestSamplingBehaviour:
+    def test_most_instances_fast_forwarded(self, regular_trace):
+        result = sampled_simulation(regular_trace, num_threads=4, config=lazy_config())
+        stats = result.metadata["taskpoint"]
+        assert stats.fast_forwarded > 0.7 * len(regular_trace)
+        assert stats.warmup_instances >= 4  # W=2 per participating thread
+
+    def test_warmup_instances_not_valid_samples(self, regular_trace):
+        result = sampled_simulation(regular_trace, num_threads=2, config=lazy_config())
+        warmup = [i for i in result.instances if i.is_warmup]
+        assert warmup
+        assert all(i.mode is SimulationMode.DETAILED for i in warmup)
+
+    def test_periodic_resamples_more_than_lazy(self):
+        trace = get_workload("vector-operation").generate(scale=0.04, seed=SEED)
+        lazy = sampled_simulation(trace, num_threads=1, config=lazy_config())
+        periodic = sampled_simulation(
+            trace, num_threads=1,
+            config=TaskPointConfig(sampling_period=50),
+        )
+        lazy_stats = lazy.metadata["taskpoint"]
+        periodic_stats = periodic.metadata["taskpoint"]
+        assert periodic_stats.resamples > lazy_stats.resamples
+        assert periodic_stats.detailed_instances > lazy_stats.detailed_instances
+
+    def test_every_task_type_gets_sampled(self, irregular_trace):
+        result = sampled_simulation(irregular_trace, num_threads=4, config=lazy_config())
+        detailed_types = {i.task_type for i in result.detailed_instances}
+        assert detailed_types == set(irregular_trace.task_types)
+
+    def test_sampled_and_detailed_report_same_instance_count(self, irregular_trace):
+        comparison = compare_with_detailed(
+            irregular_trace, num_threads=4, config=lazy_config()
+        )
+        assert comparison.detailed.num_instances == comparison.sampled.num_instances
+
+
+class TestVariationPipeline:
+    def test_regular_kernel_classified_within_5_percent(self, regular_trace):
+        report = ipc_variation(simulate(regular_trace, num_threads=4))
+        assert report.within_5_percent
+
+    def test_freqmine_classified_above_5_percent(self):
+        trace = get_workload("freqmine").generate(scale=0.3, seed=SEED)
+        report = ipc_variation(simulate(trace, num_threads=4))
+        assert not report.within_5_percent

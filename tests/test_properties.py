@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.cache import Cache
+from repro.arch.config import CacheConfig, CoreConfig
+from repro.arch.rob import RobModel
+from repro.core.history import SampleHistory
+from repro.runtime.dependencies import TaskGraphBuilder
+from repro.sim.cost import SimulationCost
+from repro.sim.simulator import simulate
+from repro.trace.generator import TraceBuilder
+from repro.trace.records import MemoryEvent
+from repro.analysis.variation import BoxPlotStats
+
+
+# ---------------------------------------------------------------------------
+# Sample history: FIFO semantics
+# ---------------------------------------------------------------------------
+@given(
+    capacity=st.integers(min_value=1, max_value=16),
+    samples=st.lists(st.floats(min_value=0.01, max_value=100.0), max_size=60),
+)
+def test_sample_history_keeps_last_capacity_samples(capacity, samples):
+    history = SampleHistory(capacity)
+    for sample in samples:
+        history.add(sample)
+    assert len(history) == min(capacity, len(samples))
+    assert history.samples == samples[-capacity:]
+    if samples:
+        expected = sum(samples[-capacity:]) / len(samples[-capacity:])
+        assert abs(history.mean() - expected) < 1e-9
+    else:
+        assert history.mean() is None
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    samples=st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=40),
+)
+def test_sample_history_mean_within_sample_range(capacity, samples):
+    history = SampleHistory(capacity)
+    for sample in samples:
+        history.add(sample)
+    mean = history.mean()
+    assert min(history.samples) - 1e-12 <= mean <= max(history.samples) + 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Cache: occupancy and hit/miss accounting invariants
+# ---------------------------------------------------------------------------
+@given(
+    addresses=st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=300),
+    ways=st.sampled_from([1, 2, 4, 8]),
+)
+@settings(max_examples=50, deadline=None)
+def test_cache_accounting_invariants(addresses, ways):
+    cache = Cache(CacheConfig(size_bytes=ways * 16 * 64, associativity=ways,
+                              latency_cycles=1))
+    for address in addresses:
+        cache.access(address)
+    stats = cache.stats
+    assert stats.hits + stats.misses == len(addresses)
+    assert 0.0 <= cache.occupancy() <= 1.0
+    # Lines present cannot exceed misses (each resident line was missed once).
+    resident = int(round(cache.occupancy() * cache.config.num_sets * ways))
+    assert resident <= stats.misses
+    # Re-accessing any address immediately after touching it must hit.
+    cache.access(addresses[-1])
+    assert cache.access(addresses[-1]) is True
+
+
+@given(
+    addresses=st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=200)
+)
+@settings(max_examples=30, deadline=None)
+def test_cache_single_set_never_exceeds_associativity(addresses):
+    cache = Cache(CacheConfig(size_bytes=4 * 64, associativity=4, latency_cycles=1))
+    for address in addresses:
+        cache.access(address)
+    used = sum(len(lines) for lines in cache._sets)
+    assert used <= 4 * cache.config.num_sets
+
+
+# ---------------------------------------------------------------------------
+# ROB model: monotonicity properties
+# ---------------------------------------------------------------------------
+@given(
+    instructions=st.integers(min_value=0, max_value=200_000),
+    latencies=st.lists(st.floats(min_value=1.0, max_value=500.0), max_size=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_rob_cycles_non_negative_and_monotone_in_latency(instructions, latencies):
+    rob = RobModel(CoreConfig(rob_size=168, issue_width=4, commit_width=4), l1_latency=4.0)
+    timing = rob.block_cycles(instructions, latencies)
+    assert timing.dispatch_cycles >= 0
+    assert timing.stall_cycles >= 0
+    # Doubling every latency can never make the block faster.
+    slower = rob.block_cycles(instructions, [latency * 2 for latency in latencies])
+    assert slower.total_cycles >= timing.total_cycles - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Dependency derivation from data clauses is acyclic and points backwards
+# ---------------------------------------------------------------------------
+@given(
+    clauses=st.lists(
+        st.tuples(
+            st.lists(st.sampled_from("abcd"), max_size=2),  # inputs
+            st.lists(st.sampled_from("abcd"), max_size=2),  # outputs
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_task_graph_builder_dependencies_point_backwards(clauses):
+    graph = TaskGraphBuilder()
+    for task_id, (inputs, outputs) in enumerate(clauses):
+        dependencies = graph.submit(task_id, inputs=inputs, outputs=outputs)
+        assert all(dep < task_id for dep in dependencies)
+        assert len(set(dependencies)) == len(dependencies)
+
+
+# ---------------------------------------------------------------------------
+# Cost model: additivity and speedup consistency
+# ---------------------------------------------------------------------------
+@given(
+    detailed=st.lists(st.integers(min_value=1, max_value=100_000), max_size=40),
+    burst=st.integers(min_value=0, max_value=1000),
+)
+def test_cost_total_units_additive(detailed, burst):
+    cost = SimulationCost()
+    for instructions in detailed:
+        cost.charge_detailed(instructions, memory_events=1)
+    for _ in range(burst):
+        cost.charge_burst()
+    assert cost.detailed_instances == len(detailed)
+    assert cost.burst_instances == burst
+    assert cost.total_units >= 0
+    if detailed or burst:
+        assert cost.total_units > 0
+
+
+# ---------------------------------------------------------------------------
+# Box-plot statistics: ordering invariants
+# ---------------------------------------------------------------------------
+@given(values=st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=200))
+def test_boxplot_percentiles_ordered(values):
+    stats = BoxPlotStats.from_values(values)
+    assert stats.minimum <= stats.percentile_5 <= stats.quartile_1
+    assert stats.quartile_1 <= stats.median <= stats.quartile_3
+    assert stats.quartile_3 <= stats.percentile_95 <= stats.maximum
+    assert stats.count == len(values)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: simulated makespan is consistent for arbitrary small task graphs
+# ---------------------------------------------------------------------------
+@st.composite
+def small_task_graphs(draw):
+    count = draw(st.integers(min_value=1, max_value=12))
+    builder = TraceBuilder("property", seed=draw(st.integers(0, 1000)))
+    region = builder.allocator.allocate(1024 * 1024)
+    rng = random.Random(0)
+    for index in range(count):
+        possible_deps = list(range(index))
+        deps = draw(
+            st.lists(st.sampled_from(possible_deps), unique=True, max_size=min(3, index))
+        ) if possible_deps else []
+        instructions = draw(st.integers(min_value=100, max_value=20_000))
+        events = [MemoryEvent(address=region.offset(rng.randrange(region.size)))
+                  for _ in range(draw(st.integers(0, 4)))]
+        builder.add_task(
+            draw(st.sampled_from(["alpha", "beta", "gamma"])),
+            instructions=instructions,
+            memory_events=events,
+            depends_on=deps,
+        )
+    return builder.build()
+
+
+@given(trace=small_task_graphs(), threads=st.integers(min_value=1, max_value=6))
+@settings(max_examples=25, deadline=None)
+def test_simulation_completes_arbitrary_task_graphs(trace, threads):
+    result = simulate(trace, num_threads=threads)
+    assert result.num_instances == len(trace)
+    assert result.total_cycles > 0
+    # Every instance respects its dependencies.
+    end_by_id = {i.instance_id: i.end_cycle for i in result.instances}
+    start_by_id = {i.instance_id: i.start_cycle for i in result.instances}
+    for record in trace:
+        for dependency in record.depends_on:
+            assert start_by_id[record.instance_id] >= end_by_id[dependency] - 1e-6
+    # The makespan is at least the critical path of any single instance and
+    # at most the sum of all instance durations.
+    durations = [i.end_cycle - i.start_cycle for i in result.instances]
+    assert result.total_cycles >= max(durations) - 1e-6
+    assert result.total_cycles <= sum(durations) + 1e-6

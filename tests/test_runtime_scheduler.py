@@ -1,0 +1,137 @@
+"""Unit tests for the dynamic task schedulers and the runtime system."""
+
+import pytest
+
+from repro.runtime.runtime import RuntimeSystem
+from repro.runtime.scheduler import (
+    FifoScheduler,
+    LocalityScheduler,
+    RandomScheduler,
+    make_scheduler,
+)
+from repro.runtime.task import TaskState
+
+from tests.conftest import build_chain_trace, build_two_type_trace, build_uniform_trace
+
+
+def ready_instances(trace, count):
+    """Helper: pull the first ``count`` ready TaskInstances from a tracker."""
+    runtime = RuntimeSystem(trace)
+    instances = []
+    for _ in range(count):
+        instance = runtime.next_task(0)
+        if instance is None:
+            break
+        instances.append(instance)
+    return instances
+
+
+class TestFifoScheduler:
+    def test_fifo_order(self):
+        scheduler = FifoScheduler()
+        instances = ready_instances(build_uniform_trace(num_instances=3), 3)
+        for instance in instances:
+            scheduler.enqueue(instance)
+        assert scheduler.pending() == 3
+        assert scheduler.dequeue(0) is instances[0]
+        assert scheduler.dequeue(1) is instances[1]
+        assert scheduler.dequeue(0) is instances[2]
+        assert scheduler.dequeue(0) is None
+
+
+class TestLocalityScheduler:
+    def test_prefers_last_type_per_worker(self):
+        scheduler = LocalityScheduler()
+        instances = ready_instances(build_two_type_trace(num_instances=6), 6)
+        small = [i for i in instances if i.task_type.name == "small"]
+        large = [i for i in instances if i.task_type.name == "large"]
+        for instance in instances:
+            scheduler.enqueue(instance)
+        # Teach worker 0 that it last ran a "large" instance.
+        scheduler.on_complete(0, large[0])
+        picked = scheduler.dequeue(0)
+        assert picked.task_type.name == "large"
+        # A worker with no history falls back to FIFO order.
+        assert scheduler.dequeue(1) is small[0]
+
+    def test_falls_back_when_preferred_type_absent(self):
+        scheduler = LocalityScheduler()
+        instances = ready_instances(build_two_type_trace(num_instances=4), 4)
+        small = [i for i in instances if i.task_type.name == "small"]
+        scheduler.on_complete(0, [i for i in instances if i.task_type.name == "large"][0])
+        for instance in small:
+            scheduler.enqueue(instance)
+        assert scheduler.dequeue(0) is small[0]
+
+
+class TestRandomScheduler:
+    def test_deterministic_for_fixed_seed(self):
+        instances = ready_instances(build_uniform_trace(num_instances=10), 10)
+        order_a = []
+        order_b = []
+        for order, seed in ((order_a, 5), (order_b, 5)):
+            scheduler = RandomScheduler(seed=seed)
+            for instance in instances:
+                scheduler.enqueue(instance)
+            while scheduler.pending():
+                order.append(scheduler.dequeue(0).instance_id)
+        assert order_a == order_b
+
+    def test_different_seed_changes_order(self):
+        instances = ready_instances(build_uniform_trace(num_instances=20), 20)
+        orders = []
+        for seed in (1, 2):
+            scheduler = RandomScheduler(seed=seed)
+            for instance in instances:
+                scheduler.enqueue(instance)
+            orders.append([scheduler.dequeue(0).instance_id for _ in range(20)])
+        assert orders[0] != orders[1]
+        assert sorted(orders[0]) == sorted(orders[1])
+
+    def test_empty_returns_none(self):
+        assert RandomScheduler().dequeue(0) is None
+
+
+class TestMakeScheduler:
+    def test_known_names(self):
+        assert isinstance(make_scheduler("fifo"), FifoScheduler)
+        assert isinstance(make_scheduler("locality"), LocalityScheduler)
+        assert isinstance(make_scheduler("random", seed=3), RandomScheduler)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_scheduler("does-not-exist")
+
+
+class TestRuntimeSystem:
+    def test_initial_ready_tasks_enqueued(self):
+        runtime = RuntimeSystem(build_uniform_trace(num_instances=4))
+        assert runtime.pending_ready() == 4
+        assert runtime.num_instances == 4
+        assert not runtime.finished()
+
+    def test_completion_releases_dependents(self):
+        runtime = RuntimeSystem(build_chain_trace(length=3))
+        first = runtime.next_task(0)
+        assert first.instance_id == 0
+        assert runtime.next_task(1) is None
+        first.mark_running(0, 0.0)
+        first.mark_completed(10.0)
+        released = runtime.notify_completion(first, worker_id=0)
+        assert [i.instance_id for i in released] == [1]
+        assert runtime.pending_ready() == 1
+
+    def test_finished_after_all_completed(self):
+        runtime = RuntimeSystem(build_uniform_trace(num_instances=2))
+        cycle = 0.0
+        while not runtime.finished():
+            instance = runtime.next_task(0)
+            instance.mark_running(0, cycle)
+            cycle += 10.0
+            instance.mark_completed(cycle)
+            runtime.notify_completion(instance, worker_id=0)
+        assert runtime.num_completed == 2
+
+    def test_task_types_exposed(self):
+        runtime = RuntimeSystem(build_two_type_trace(num_instances=4))
+        assert sorted(t.name for t in runtime.task_types) == ["large", "small"]

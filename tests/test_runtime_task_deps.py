@@ -1,0 +1,140 @@
+"""Unit tests for task instances, dependency tracking and data-clause graphs."""
+
+import pytest
+
+from repro.runtime.dependencies import DependencyTracker, TaskGraphBuilder
+from repro.runtime.task import TaskInstance, TaskState, TaskType
+from repro.trace.records import make_record
+
+from tests.conftest import build_chain_trace, build_uniform_trace
+
+
+def make_instance(instance_id=0, deps=0):
+    record = make_record(instance_id, "t", 100)
+    return TaskInstance(
+        record=record,
+        task_type=TaskType(name="t", type_id=0),
+        remaining_dependencies=deps,
+    )
+
+
+class TestTaskInstanceLifecycle:
+    def test_normal_lifecycle(self):
+        instance = make_instance()
+        assert instance.state is TaskState.CREATED
+        instance.mark_ready()
+        instance.mark_running(worker_id=2, start_cycle=10.0)
+        instance.mark_completed(end_cycle=110.0)
+        assert instance.state is TaskState.COMPLETED
+        assert instance.worker_id == 2
+        assert instance.cycles == 100.0
+        assert instance.ipc == pytest.approx(1.0)
+
+    def test_cannot_mark_ready_with_pending_dependencies(self):
+        instance = make_instance(deps=1)
+        with pytest.raises(ValueError):
+            instance.mark_ready()
+
+    def test_cannot_run_before_ready(self):
+        instance = make_instance()
+        with pytest.raises(ValueError):
+            instance.mark_running(0, 0.0)
+
+    def test_cannot_complete_before_running(self):
+        instance = make_instance()
+        instance.mark_ready()
+        with pytest.raises(ValueError):
+            instance.mark_completed(5.0)
+
+    def test_end_before_start_rejected(self):
+        instance = make_instance()
+        instance.mark_ready()
+        instance.mark_running(0, 100.0)
+        with pytest.raises(ValueError):
+            instance.mark_completed(50.0)
+
+    def test_ipc_none_before_completion(self):
+        instance = make_instance()
+        assert instance.cycles is None
+        assert instance.ipc is None
+
+
+class TestDependencyTracker:
+    def test_initially_ready_instances(self):
+        tracker = DependencyTracker(build_uniform_trace(num_instances=5))
+        ready = tracker.initially_ready()
+        assert len(ready) == 5
+        assert all(instance.state is TaskState.READY for instance in ready)
+
+    def test_chain_releases_one_at_a_time(self):
+        tracker = DependencyTracker(build_chain_trace(length=3))
+        ready = tracker.initially_ready()
+        assert [i.instance_id for i in ready] == [0]
+        first = tracker.instance(0)
+        first.mark_running(0, 0.0)
+        first.mark_completed(1.0)
+        released = tracker.complete(0)
+        assert [i.instance_id for i in released] == [1]
+        assert tracker.instance(2).state is TaskState.CREATED
+
+    def test_complete_requires_completed_state(self):
+        tracker = DependencyTracker(build_uniform_trace(num_instances=2))
+        tracker.initially_ready()
+        with pytest.raises(ValueError):
+            tracker.complete(0)
+
+    def test_all_completed(self):
+        tracker = DependencyTracker(build_uniform_trace(num_instances=2))
+        tracker.initially_ready()
+        for instance_id in range(2):
+            instance = tracker.instance(instance_id)
+            instance.mark_running(0, 0.0)
+            instance.mark_completed(1.0)
+            tracker.complete(instance_id)
+        assert tracker.all_completed()
+        assert tracker.num_completed == 2
+
+    def test_task_types_deduplicated(self):
+        tracker = DependencyTracker(build_uniform_trace(num_instances=4))
+        assert [t.name for t in tracker.task_types] == ["work"]
+
+
+class TestTaskGraphBuilder:
+    def test_read_after_write(self):
+        graph = TaskGraphBuilder()
+        graph.submit(0, outputs=["x"])
+        assert graph.submit(1, inputs=["x"]) == [0]
+
+    def test_write_after_read_and_write(self):
+        graph = TaskGraphBuilder()
+        graph.submit(0, outputs=["x"])
+        graph.submit(1, inputs=["x"])
+        graph.submit(2, inputs=["x"])
+        deps = graph.submit(3, outputs=["x"])
+        assert set(deps) == {0, 1, 2}
+
+    def test_independent_data_no_dependency(self):
+        graph = TaskGraphBuilder()
+        graph.submit(0, outputs=["x"])
+        assert graph.submit(1, outputs=["y"]) == []
+
+    def test_inout_serialises(self):
+        graph = TaskGraphBuilder()
+        graph.submit(0, inouts=["acc"])
+        assert graph.submit(1, inouts=["acc"]) == [0]
+        assert graph.submit(2, inouts=["acc"]) == [1]
+
+    def test_parallel_readers_then_writer(self):
+        graph = TaskGraphBuilder()
+        graph.submit(0, outputs=["m"])
+        first_reader = graph.submit(1, inputs=["m"])
+        second_reader = graph.submit(2, inputs=["m"])
+        assert first_reader == [0] and second_reader == [0]
+        assert set(graph.submit(3, outputs=["m"])) == {0, 1, 2}
+
+    def test_dependencies_of(self):
+        graph = TaskGraphBuilder()
+        graph.submit(0, outputs=["x"])
+        graph.submit(1, inputs=["x"])
+        assert graph.dependencies_of(1) == [0]
+        assert graph.dependencies_of(42) == []

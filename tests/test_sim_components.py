@@ -1,0 +1,158 @@
+"""Unit tests for simulation modes, cost accounting and result objects."""
+
+import pytest
+
+from repro.sim.cost import BURST_COST_PER_INSTANCE, SimulationCost
+from repro.sim.modes import (
+    AlwaysDetailedController,
+    FixedIpcController,
+    ModeController,
+    ModeDecision,
+    SimulationMode,
+)
+from repro.sim.results import InstanceResult, SimulationResult
+
+
+class TestModeDecision:
+    def test_burst_requires_positive_ipc(self):
+        with pytest.raises(ValueError):
+            ModeDecision(mode=SimulationMode.BURST)
+        with pytest.raises(ValueError):
+            ModeDecision(mode=SimulationMode.BURST, ipc=0.0)
+
+    def test_detailed_needs_no_ipc(self):
+        decision = ModeDecision(mode=SimulationMode.DETAILED)
+        assert decision.ipc is None
+        assert decision.is_warmup is False
+
+
+class TestBuiltinControllers:
+    def test_always_detailed(self):
+        controller = AlwaysDetailedController()
+        decision = controller.choose_mode(None, 0, 1, 0.0)
+        assert decision.mode is SimulationMode.DETAILED
+        assert isinstance(controller, ModeController)
+
+    def test_fixed_ipc(self):
+        controller = FixedIpcController(ipc=2.5)
+        decision = controller.choose_mode(None, 0, 1, 0.0)
+        assert decision.mode is SimulationMode.BURST
+        assert decision.ipc == 2.5
+        assert isinstance(controller, ModeController)
+
+    def test_fixed_ipc_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            FixedIpcController(ipc=0)
+
+
+class TestSimulationCost:
+    def test_charging(self):
+        cost = SimulationCost()
+        cost.charge_detailed(instructions=1000, memory_events=20)
+        cost.charge_burst()
+        cost.charge_burst()
+        assert cost.detailed_instances == 1
+        assert cost.burst_instances == 2
+        assert cost.detailed_memory_events == 20
+        assert cost.total_units == pytest.approx(1000 + 2 * BURST_COST_PER_INSTANCE)
+        assert cost.detailed_fraction == pytest.approx(1 / 3)
+
+    def test_speedup_over_baseline(self):
+        baseline = SimulationCost()
+        baseline.charge_detailed(100_000, 100)
+        sampled = SimulationCost()
+        sampled.charge_detailed(10_000, 10)
+        for _ in range(90):
+            sampled.charge_burst()
+        assert sampled.speedup_over(baseline) > 1.0
+        assert baseline.speedup_over(baseline) == pytest.approx(1.0)
+
+    def test_empty_cost_speedup_is_infinite(self):
+        baseline = SimulationCost()
+        baseline.charge_detailed(100, 1)
+        assert SimulationCost().speedup_over(baseline) == float("inf")
+
+    def test_detailed_fraction_zero_when_empty(self):
+        assert SimulationCost().detailed_fraction == 0.0
+
+
+def _instance(instance_id, task_type="t", mode=SimulationMode.DETAILED,
+              start=0.0, end=100.0, instructions=400, warmup=False):
+    return InstanceResult(
+        instance_id=instance_id,
+        task_type=task_type,
+        worker_id=0,
+        mode=mode,
+        instructions=instructions,
+        start_cycle=start,
+        end_cycle=end,
+        ipc=instructions / (end - start),
+        is_warmup=warmup,
+    )
+
+
+class TestSimulationResult:
+    def _result(self):
+        instances = [
+            _instance(0, "a", start=0, end=100),
+            _instance(1, "a", mode=SimulationMode.BURST, start=0, end=50),
+            _instance(2, "b", start=100, end=300, instructions=800),
+            _instance(3, "a", start=50, end=150, warmup=True),
+        ]
+        return SimulationResult(
+            benchmark="bench",
+            architecture="high-performance",
+            num_threads=2,
+            total_cycles=300.0,
+            instances=instances,
+        )
+
+    def test_mode_partition(self):
+        result = self._result()
+        assert result.num_instances == 4
+        assert len(result.detailed_instances) == 3
+        assert len(result.burst_instances) == 1
+
+    def test_ipc_by_type_excludes_burst_and_warmup(self):
+        grouped = self._result().ipc_by_type(detailed_only=True)
+        assert len(grouped["a"]) == 1
+        assert len(grouped["b"]) == 1
+
+    def test_ipc_by_type_can_include_everything(self):
+        grouped = self._result().ipc_by_type(detailed_only=False)
+        assert len(grouped["a"]) == 3
+
+    def test_error_versus(self):
+        sampled = self._result()
+        reference = self._result()
+        reference.total_cycles = 250.0
+        assert sampled.error_versus(reference) == pytest.approx(50 / 250)
+        with pytest.raises(ValueError):
+            reference.total_cycles = 0.0
+            sampled.error_versus(reference)
+
+    def test_average_ipc(self):
+        result = self._result()
+        assert result.average_ipc() == pytest.approx(result.total_instructions / 300.0)
+
+    def test_wall_speedup(self):
+        sampled = self._result()
+        reference = self._result()
+        assert sampled.wall_speedup_versus(reference) is None
+        sampled.wall_seconds = 1.0
+        reference.wall_seconds = 10.0
+        assert sampled.wall_speedup_versus(reference) == pytest.approx(10.0)
+
+    def test_summary_keys(self):
+        summary = self._result().summary()
+        assert summary["benchmark"] == "bench"
+        assert summary["threads"] == 2
+        assert summary["instances"] == 4
+
+    def test_instances_of(self):
+        assert len(self._result().instances_of("a")) == 3
+        assert self._result().instances_of("zzz") == []
+
+    def test_instance_cycles(self):
+        instance = _instance(0, start=10.0, end=35.0)
+        assert instance.cycles == pytest.approx(25.0)
