@@ -12,19 +12,29 @@ from __future__ import annotations
 from common import HIGH_PERFORMANCE, all_benchmark_names, bench_scale, bench_seed, write_result
 from repro.analysis.native import NativeExecutionModel, native_execution
 from repro.analysis.reporting import render_variation_report
-from repro.analysis.variation import classification_agreement, ipc_variation
+from repro.analysis.variation import classification_agreement, ipc_variation, variation_grid
 
 NUM_THREADS = 8
 
 
 def _run(cache):
-    simulated = {}
+    # The simulated side goes through the orchestrator: its detailed runs are
+    # the same baselines the accuracy figures use, so they come out of the
+    # shared session store.  The native substitute perturbs detailed-mode
+    # cycles with an in-memory noise model, so it runs outside the spec layer.
+    simulated = variation_grid(
+        all_benchmark_names(),
+        num_threads=NUM_THREADS,
+        architecture=HIGH_PERFORMANCE,
+        scale=bench_scale(),
+        seed=bench_seed(),
+        backend=cache.backend,
+        store=cache.store,
+    )
     native = {}
     for name in all_benchmark_names():
-        trace = cache.trace(name)
-        simulated[name] = ipc_variation(cache.detailed(name, HIGH_PERFORMANCE, NUM_THREADS))
         native_result = native_execution(
-            trace,
+            cache.trace(name),
             num_threads=NUM_THREADS,
             architecture=HIGH_PERFORMANCE,
             noise=NativeExecutionModel(seed=bench_seed()),

@@ -39,14 +39,14 @@ def _render(points, caption):
 
 
 def _shared_kwargs(cache):
-    traces = {name: cache.trace(name) for name in SENSITIVITY_SUBSET}
     return dict(
         benchmarks=tuple(SENSITIVITY_SUBSET),
         thread_counts=tuple(thread_counts("sweep")),
         architecture=HIGH_PERFORMANCE,
         scale=bench_scale(),
         seed=bench_seed(),
-        traces=traces,
+        backend=cache.backend,
+        store=cache.store,
     )
 
 

@@ -5,10 +5,14 @@ directory.  They all build on the helpers here:
 
 * experiment parameters come from environment variables so the whole suite
   can be scaled up or down without editing code
-  (``REPRO_BENCH_SCALE``, ``REPRO_BENCH_SEED``, ``REPRO_BENCH_THREADS_*``),
-* traces and full-detailed baseline simulations are cached per session and
-  shared between figures (Figure 7 and Figure 9 use the same baselines, for
-  instance), and
+  (``REPRO_BENCH_SCALE``, ``REPRO_BENCH_SEED``, ``REPRO_BENCH_THREADS_*``,
+  ``REPRO_BENCH_JOBS``, ``REPRO_BENCH_CACHE_DIR``),
+* every experiment goes through the :mod:`repro.exp` orchestrator via the
+  session-scoped :class:`ExperimentHarness`: detailed baselines are
+  deduplicated and shared between figures (Figure 7 and Figure 9 use the same
+  baselines, for instance), ``REPRO_BENCH_JOBS=N`` runs each grid on an
+  N-process pool, and ``REPRO_BENCH_CACHE_DIR`` makes results persistent
+  across pytest sessions, and
 * every harness writes its regenerated table to ``benchmarks/results/`` so
   the numbers quoted in EXPERIMENTS.md can be reproduced by re-running
   ``pytest benchmarks/ --benchmark-only``.
@@ -18,20 +22,26 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from repro.analysis.accuracy import AccuracyResult
+from repro.analysis.accuracy import AccuracyResult, evaluate_specs, grid_specs
 from repro.arch.config import (
     ArchitectureConfig,
     high_performance_config,
     low_power_config,
 )
-from repro.core.api import sampled_simulation
 from repro.core.config import TaskPointConfig
-from repro.sim.results import SimulationResult
-from repro.sim.simulator import TaskSimSimulator
+from repro.exp import (
+    ExecutionBackend,
+    ExperimentResult,
+    ExperimentSpec,
+    MemoryResultStore,
+    ResultStore,
+    get_trace,
+    make_backend,
+    run_experiments,
+)
 from repro.trace.trace import ApplicationTrace
-from repro.workloads.registry import get_workload, list_workloads
 
 #: Default workload scale for the benchmark harnesses (fraction of the
 #: paper's task-instance counts).  Override with REPRO_BENCH_SCALE.
@@ -48,6 +58,11 @@ def bench_scale() -> float:
 def bench_seed() -> int:
     """Trace-generation seed used by the harnesses."""
     return int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+def bench_jobs() -> int:
+    """Worker processes per grid (1 = serial).  Override with REPRO_BENCH_JOBS."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 def thread_counts(kind: str) -> List[int]:
@@ -72,6 +87,8 @@ def all_benchmark_names() -> List[str]:
     raw = os.environ.get("REPRO_BENCH_WORKLOADS")
     if raw:
         return [part for part in raw.split(",") if part]
+    from repro.workloads.registry import list_workloads
+
     return list_workloads()
 
 
@@ -83,64 +100,64 @@ def write_result(name: str, text: str) -> Path:
     return path
 
 
-class ExperimentCache:
-    """Caches traces and detailed baseline simulations across harnesses."""
+class ExperimentHarness:
+    """Session-wide front-end to the experiment orchestrator.
 
-    def __init__(self) -> None:
-        self._traces: Dict[Tuple[str, float, int], ApplicationTrace] = {}
-        self._detailed: Dict[Tuple[str, str, int, float, int], SimulationResult] = {}
+    The harness owns one execution backend (serial, or a process pool when
+    ``REPRO_BENCH_JOBS`` > 1) and one result store shared by every figure of
+    the session — an in-memory store by default, or the persistent on-disk
+    store when ``REPRO_BENCH_CACHE_DIR`` is set.  All experiment execution
+    goes through :func:`repro.exp.run_experiments`; the harness itself holds
+    no caches and runs no loops.
+    """
 
-    # ------------------------------------------------------------------
-    def trace(self, benchmark: str, scale: Optional[float] = None,
-              seed: Optional[int] = None) -> ApplicationTrace:
-        """Return (generating once) the trace of ``benchmark``."""
-        scale = bench_scale() if scale is None else scale
-        seed = bench_seed() if seed is None else seed
-        key = (benchmark, scale, seed)
-        if key not in self._traces:
-            self._traces[key] = get_workload(benchmark).generate(scale=scale, seed=seed)
-        return self._traces[key]
-
-    def detailed(self, benchmark: str, architecture: ArchitectureConfig,
-                 num_threads: int) -> SimulationResult:
-        """Return (simulating once) the full detailed baseline result."""
-        key = (benchmark, architecture.name, num_threads, bench_scale(), bench_seed())
-        if key not in self._detailed:
-            simulator = TaskSimSimulator(architecture=architecture)
-            self._detailed[key] = simulator.run(
-                self.trace(benchmark), num_threads=num_threads
-            )
-        return self._detailed[key]
+    def __init__(
+        self,
+        backend: Optional[ExecutionBackend] = None,
+        store=None,
+    ) -> None:
+        self.backend = backend if backend is not None else make_backend(bench_jobs())
+        if store is not None:
+            self.store = store
+        else:
+            cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
+            self.store = ResultStore(cache_dir) if cache_dir else MemoryResultStore()
 
     # ------------------------------------------------------------------
-    def accuracy(
+    def spec(
+        self,
+        benchmark: str,
+        architecture: Optional[ArchitectureConfig] = None,
+        num_threads: int = 8,
+        config: Optional[TaskPointConfig] = None,
+    ) -> ExperimentSpec:
+        """Spec for one experiment at the session's scale and seed."""
+        return ExperimentSpec(
+            benchmark=benchmark,
+            num_threads=num_threads,
+            scale=bench_scale(),
+            trace_seed=bench_seed(),
+            architecture=architecture,
+            config=config,
+        )
+
+    def run(self, specs: Sequence[ExperimentSpec]) -> List[ExperimentResult]:
+        """Run arbitrary specs through the session backend and store."""
+        return run_experiments(specs, backend=self.backend, store=self.store)
+
+    # ------------------------------------------------------------------
+    def trace(self, benchmark: str) -> ApplicationTrace:
+        """The session trace of ``benchmark`` (memoised per process)."""
+        return get_trace(benchmark, bench_scale(), bench_seed())
+
+    def detailed(
         self,
         benchmark: str,
         architecture: ArchitectureConfig,
         num_threads: int,
-        config: TaskPointConfig,
-    ) -> AccuracyResult:
-        """Sampled-versus-detailed comparison reusing the cached baseline."""
-        detailed = self.detailed(benchmark, architecture, num_threads)
-        sampled = sampled_simulation(
-            self.trace(benchmark),
-            num_threads=num_threads,
-            architecture=architecture,
-            config=config,
-        )
-        taskpoint = sampled.metadata["taskpoint"]
-        return AccuracyResult(
-            benchmark=benchmark,
-            architecture=architecture.name,
-            num_threads=num_threads,
-            error_percent=sampled.error_versus(detailed) * 100.0,
-            speedup=sampled.speedup_versus(detailed),
-            wall_speedup=sampled.wall_speedup_versus(detailed),
-            detailed_cycles=detailed.total_cycles,
-            sampled_cycles=sampled.total_cycles,
-            detailed_fraction=sampled.cost.detailed_fraction,
-            resamples=taskpoint.resamples,
-        )
+    ) -> ExperimentResult:
+        """Detailed baseline result of one experiment point."""
+        return self.run([self.spec(benchmark, architecture, num_threads)])[0]
 
     def accuracy_grid(
         self,
@@ -150,11 +167,15 @@ class ExperimentCache:
         config: TaskPointConfig,
     ) -> List[AccuracyResult]:
         """Accuracy results for every (benchmark, thread-count) pair."""
-        results = []
-        for name in benchmarks:
-            for count in threads:
-                results.append(self.accuracy(name, architecture, count, config))
-        return results
+        specs = grid_specs(
+            benchmarks,
+            threads,
+            architecture=architecture,
+            config=config,
+            scale=bench_scale(),
+            seed=bench_seed(),
+        )
+        return evaluate_specs(specs, backend=self.backend, store=self.store)
 
 
 #: Architectures used throughout the harnesses.

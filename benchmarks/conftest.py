@@ -9,15 +9,18 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from common import ExperimentCache  # noqa: E402
+from common import ExperimentHarness  # noqa: E402
 
 
 @pytest.fixture(scope="session")
-def cache() -> ExperimentCache:
-    """One experiment cache for the whole benchmark session.
+def cache() -> ExperimentHarness:
+    """One experiment harness for the whole benchmark session.
 
     Detailed baseline simulations are the expensive part of every figure;
-    caching them lets Figures 7/9 (and 8/10) share identical baselines, just
-    as the paper evaluates both policies against the same detailed runs.
+    the orchestrator's shared result store lets Figures 7/9 (and 8/10) use
+    identical baselines, just as the paper evaluates both policies against
+    the same detailed runs.  Set ``REPRO_BENCH_JOBS=N`` to run every grid on
+    an N-process pool and ``REPRO_BENCH_CACHE_DIR`` to persist results
+    across sessions.
     """
-    return ExperimentCache()
+    return ExperimentHarness()

@@ -14,6 +14,9 @@ The library is organised in layers, from the substrate upwards:
   detailed and burst modes,
 * :mod:`repro.core` — TaskPoint itself: sample histories, warm-up, sampling
   policies, accurate fast-forwarding and the sampling controller,
+* :mod:`repro.exp` — the experiment orchestration layer: hashable
+  experiment specs, serial/process-pool execution backends and the
+  persistent result store every evaluation runs on,
 * :mod:`repro.analysis` — IPC-variation analysis, accuracy/speedup metrics,
   parameter sweeps and the experiment drivers behind every figure and table.
 
@@ -34,6 +37,14 @@ from repro.arch.config import (
 from repro.core.api import compare_with_detailed, sampled_simulation
 from repro.core.config import TaskPointConfig, lazy_config, periodic_config
 from repro.core.controller import TaskPointController
+from repro.exp import (
+    ExperimentResult,
+    ExperimentSpec,
+    ProcessPoolBackend,
+    ResultStore,
+    SerialBackend,
+    run_experiments,
+)
 from repro.sim.simulator import TaskSimSimulator, simulate
 from repro.trace.trace import ApplicationTrace
 from repro.workloads.registry import get_workload, list_workloads
@@ -49,6 +60,12 @@ __all__ = [
     "periodic_config",
     "lazy_config",
     "TaskPointController",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ResultStore",
+    "run_experiments",
     "TaskSimSimulator",
     "simulate",
     "sampled_simulation",

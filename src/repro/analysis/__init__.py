@@ -19,13 +19,17 @@ from repro.analysis.variation import (
     TypeVariation,
     VariationReport,
     ipc_variation,
+    variation_grid,
 )
 from repro.analysis.native import NativeExecutionModel, native_execution
 from repro.analysis.accuracy import (
     AccuracyResult,
     AccuracySummary,
+    accuracy_from_experiments,
     evaluate_benchmark,
     evaluate_grid,
+    evaluate_specs,
+    grid_specs,
     summarize,
 )
 from repro.analysis.sweep import SweepPoint, history_sweep, period_sweep, warmup_sweep
@@ -37,12 +41,16 @@ __all__ = [
     "TypeVariation",
     "VariationReport",
     "ipc_variation",
+    "variation_grid",
     "NativeExecutionModel",
     "native_execution",
     "AccuracyResult",
     "AccuracySummary",
+    "accuracy_from_experiments",
     "evaluate_benchmark",
     "evaluate_grid",
+    "evaluate_specs",
+    "grid_specs",
     "summarize",
     "SweepPoint",
     "warmup_sweep",

@@ -4,20 +4,25 @@ The paper's accuracy metric is the absolute relative difference between the
 execution time predicted by the sampled simulation and the execution time of
 a full detailed simulation of the same workload, architecture and thread
 count; its performance metric is the simulation speedup of the sampled run
-over the detailed run.  This module runs those experiment pairs and
-aggregates them into per-figure data.
+over the detailed run.  This module expresses those experiment pairs as
+:class:`~repro.exp.spec.ExperimentSpec` grids submitted to the experiment
+orchestrator (:func:`repro.exp.run_experiments`), which deduplicates the
+shared detailed baselines, optionally runs the grid on a process pool and
+caches every result persistently.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import statistics
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.arch.config import ArchitectureConfig
 from repro.core.api import compare_with_detailed
 from repro.core.config import TaskPointConfig
+from repro.exp.backends import ExecutionBackend, Store, run_experiments
+from repro.exp.spec import ExperimentResult, ExperimentSpec
 from repro.trace.trace import ApplicationTrace
-from repro.workloads.registry import get_workload
 
 
 @dataclass(frozen=True)
@@ -41,6 +46,7 @@ class AccuracySummary:
     """Aggregate over a set of accuracy results (one figure's 'average' bar)."""
 
     average_error_percent: float
+    median_error_percent: float
     max_error_percent: float
     average_speedup: float
     min_speedup: float
@@ -55,7 +61,13 @@ def evaluate_benchmark(
     config: Optional[TaskPointConfig] = None,
     scheduler_seed: int = 0,
 ) -> AccuracyResult:
-    """Run the detailed-versus-sampled comparison for one experiment point."""
+    """Run the detailed-versus-sampled comparison for one in-memory trace.
+
+    This is the single-experiment convenience path for traces that exist only
+    in memory (e.g. custom workloads); grids of named benchmarks should go
+    through :func:`evaluate_grid` / :func:`evaluate_specs` instead, which
+    parallelise and cache.
+    """
     comparison = compare_with_detailed(
         trace,
         num_threads=num_threads,
@@ -77,6 +89,80 @@ def evaluate_benchmark(
     )
 
 
+def accuracy_from_experiments(
+    sampled: ExperimentResult, detailed: ExperimentResult
+) -> AccuracyResult:
+    """Combine a sampled run and its detailed baseline into an accuracy row."""
+    return AccuracyResult(
+        benchmark=sampled.benchmark,
+        architecture=sampled.architecture,
+        num_threads=sampled.num_threads,
+        error_percent=sampled.error_versus(detailed) * 100.0,
+        speedup=sampled.speedup_versus(detailed),
+        wall_speedup=sampled.wall_speedup_versus(detailed),
+        detailed_cycles=detailed.total_cycles,
+        sampled_cycles=sampled.total_cycles,
+        detailed_fraction=sampled.cost.detailed_fraction,
+        resamples=sampled.resamples,
+    )
+
+
+def evaluate_specs(
+    specs: Sequence[ExperimentSpec],
+    backend: Optional[ExecutionBackend] = None,
+    store: Optional[Store] = None,
+) -> List[AccuracyResult]:
+    """Evaluate sampled experiment specs against their detailed baselines.
+
+    Every spec must describe a sampled experiment; its baseline spec is
+    derived automatically and the whole set — sampled runs plus deduplicated
+    baselines — is submitted to the orchestrator in one batch, so arbitrary
+    grids (multi-architecture, multi-scheduler, multi-seed) are a one-liner.
+    """
+    submitted: List[ExperimentSpec] = []
+    for spec in specs:
+        if spec.is_detailed:
+            raise ValueError(
+                f"evaluate_specs expects sampled experiment specs, got detailed"
+                f" baseline {spec.label()!r}"
+            )
+        submitted.append(spec)
+        submitted.append(spec.baseline())
+    results = run_experiments(submitted, backend=backend, store=store)
+    return [
+        accuracy_from_experiments(results[index], results[index + 1])
+        for index in range(0, len(results), 2)
+    ]
+
+
+def grid_specs(
+    benchmarks: Sequence[str],
+    thread_counts: Sequence[int],
+    architecture: Optional[ArchitectureConfig] = None,
+    config: Optional[TaskPointConfig] = None,
+    scale: float = 0.08,
+    seed: int = 1,
+    scheduler: str = "fifo",
+    scheduler_seed: int = 0,
+) -> List[ExperimentSpec]:
+    """Sampled specs for every (benchmark, thread count) pair of one figure."""
+    config = config if config is not None else TaskPointConfig()
+    return [
+        ExperimentSpec(
+            benchmark=name,
+            num_threads=threads,
+            scale=scale,
+            trace_seed=seed,
+            architecture=architecture,
+            config=config,
+            scheduler=scheduler,
+            scheduler_seed=scheduler_seed,
+        )
+        for name in benchmarks
+        for threads in thread_counts
+    ]
+
+
 def evaluate_grid(
     benchmarks: Sequence[str],
     thread_counts: Sequence[int],
@@ -84,7 +170,10 @@ def evaluate_grid(
     config: Optional[TaskPointConfig] = None,
     scale: float = 0.08,
     seed: int = 1,
-    traces: Optional[Dict[str, ApplicationTrace]] = None,
+    scheduler: str = "fifo",
+    scheduler_seed: int = 0,
+    backend: Optional[ExecutionBackend] = None,
+    store: Optional[Store] = None,
 ) -> List[AccuracyResult]:
     """Evaluate every (benchmark, thread count) pair of one figure.
 
@@ -97,33 +186,33 @@ def evaluate_grid(
     architecture:
         Architecture configuration; defaults to the high-performance one.
     config:
-        TaskPoint configuration (periodic P=250 or lazy).
+        TaskPoint configuration (periodic P=250 or lazy); defaults to the
+        paper's periodic configuration.
     scale:
         Workload scale passed to the generators (fraction of Table I's
         instance counts).
     seed:
         Trace-generation seed.
-    traces:
-        Pre-generated traces keyed by benchmark name; generated on demand
-        when missing (useful to share trace generation across figures).
+    scheduler / scheduler_seed:
+        Dynamic scheduling policy of the simulated runtime.
+    backend:
+        Execution backend (e.g. ``ProcessPoolBackend(max_workers=4)``);
+        defaults to serial in-process execution.
+    store:
+        Optional result store; a warm store re-runs the grid without a
+        single new simulation.
     """
-    results: List[AccuracyResult] = []
-    traces = dict(traces) if traces else {}
-    for name in benchmarks:
-        trace = traces.get(name)
-        if trace is None:
-            trace = get_workload(name).generate(scale=scale, seed=seed)
-            traces[name] = trace
-        for threads in thread_counts:
-            results.append(
-                evaluate_benchmark(
-                    trace,
-                    num_threads=threads,
-                    architecture=architecture,
-                    config=config,
-                )
-            )
-    return results
+    specs = grid_specs(
+        benchmarks,
+        thread_counts,
+        architecture=architecture,
+        config=config,
+        scale=scale,
+        seed=seed,
+        scheduler=scheduler,
+        scheduler_seed=scheduler_seed,
+    )
+    return evaluate_specs(specs, backend=backend, store=store)
 
 
 def summarize(results: Iterable[AccuracyResult]) -> AccuracySummary:
@@ -135,6 +224,7 @@ def summarize(results: Iterable[AccuracyResult]) -> AccuracySummary:
     speedups = [result.speedup for result in results]
     return AccuracySummary(
         average_error_percent=sum(errors) / len(errors),
+        median_error_percent=statistics.median(errors),
         max_error_percent=max(errors),
         average_speedup=sum(speedups) / len(speedups),
         min_speedup=min(speedups),

@@ -60,6 +60,7 @@ def render_accuracy_table(results: Sequence[AccuracyResult], title: str = "") ->
     overall = summarize(results)
     summary_lines.append(
         f"overall: avg error {overall.average_error_percent:.2f}%"
+        f", median error {overall.median_error_percent:.2f}%"
         f", max error {overall.max_error_percent:.2f}%"
         f", avg speedup {overall.average_speedup:.1f}x"
     )

@@ -5,18 +5,25 @@ warm-up interval W (with H=10 and P=∞), then the history size H (with W=2 and
 P=∞), then the sampling period P (with W=2 and H=4).  Each sweep reports
 error and speedup averaged over the sensitivity benchmark subset and over
 simulations with 32 and 64 threads.
+
+Every sweep builds one flat list of experiment specs — all parameter values ×
+benchmarks × thread counts — and submits it to the experiment orchestrator in
+a single batch.  The detailed baselines are shared between all parameter
+values (they do not depend on W, H or P), so the orchestrator's content-key
+deduplication simulates each baseline exactly once per sweep, and a process
+pool parallelises the whole sweep at spec granularity.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
-from repro.analysis.accuracy import evaluate_benchmark
+from repro.analysis.accuracy import evaluate_specs, grid_specs
 from repro.arch.config import ArchitectureConfig
 from repro.core.config import TaskPointConfig
-from repro.trace.trace import ApplicationTrace
-from repro.workloads.registry import SENSITIVITY_SUBSET, get_workload
+from repro.exp.backends import ExecutionBackend, Store
+from repro.workloads.registry import SENSITIVITY_SUBSET
 
 
 @dataclass(frozen=True)
@@ -30,49 +37,43 @@ class SweepPoint:
     experiments: int
 
 
-def _traces_for(
-    benchmarks: Sequence[str], scale: float, seed: int,
-    traces: Optional[Dict[str, ApplicationTrace]] = None,
-) -> Dict[str, ApplicationTrace]:
-    prepared = dict(traces) if traces else {}
-    for name in benchmarks:
-        if name not in prepared:
-            prepared[name] = get_workload(name).generate(scale=scale, seed=seed)
-    return prepared
-
-
 def _sweep(
     parameter: str,
-    configs: Sequence[tuple],
+    configs: Sequence[Tuple[object, TaskPointConfig]],
     benchmarks: Sequence[str],
     thread_counts: Sequence[int],
     architecture: Optional[ArchitectureConfig],
     scale: float,
     seed: int,
-    traces: Optional[Dict[str, ApplicationTrace]],
+    backend: Optional[ExecutionBackend],
+    store: Optional[Store],
 ) -> List[SweepPoint]:
-    prepared = _traces_for(benchmarks, scale, seed, traces)
+    specs = []
+    for _, config in configs:
+        specs.extend(
+            grid_specs(
+                benchmarks,
+                thread_counts,
+                architecture=architecture,
+                config=config,
+                scale=scale,
+                seed=seed,
+            )
+        )
+    results = evaluate_specs(specs, backend=backend, store=store)
+    per_value = len(benchmarks) * len(thread_counts)
     points: List[SweepPoint] = []
-    for value, config in configs:
-        errors: List[float] = []
-        speedups: List[float] = []
-        for name in benchmarks:
-            for threads in thread_counts:
-                result = evaluate_benchmark(
-                    prepared[name],
-                    num_threads=threads,
-                    architecture=architecture,
-                    config=config,
-                )
-                errors.append(result.error_percent)
-                speedups.append(result.speedup)
+    for index, (value, _) in enumerate(configs):
+        chunk = results[index * per_value:(index + 1) * per_value]
+        errors = [result.error_percent for result in chunk]
+        speedups = [result.speedup for result in chunk]
         points.append(
             SweepPoint(
                 parameter=parameter,
                 value=value,
                 average_error_percent=sum(errors) / len(errors),
                 average_speedup=sum(speedups) / len(speedups),
-                experiments=len(errors),
+                experiments=len(chunk),
             )
         )
     return points
@@ -86,14 +87,16 @@ def warmup_sweep(
     history_size: int = 10,
     scale: float = 0.08,
     seed: int = 1,
-    traces: Optional[Dict[str, ApplicationTrace]] = None,
+    backend: Optional[ExecutionBackend] = None,
+    store: Optional[Store] = None,
 ) -> List[SweepPoint]:
     """Figure 6a: error/speedup for different warm-up sizes W (H=10, P=∞)."""
     configs = [
         (w, TaskPointConfig(warmup_instances=w, history_size=history_size, sampling_period=None))
         for w in warmup_values
     ]
-    return _sweep("W", configs, benchmarks, thread_counts, architecture, scale, seed, traces)
+    return _sweep("W", configs, benchmarks, thread_counts, architecture, scale, seed,
+                  backend, store)
 
 
 def history_sweep(
@@ -104,14 +107,16 @@ def history_sweep(
     warmup_instances: int = 2,
     scale: float = 0.08,
     seed: int = 1,
-    traces: Optional[Dict[str, ApplicationTrace]] = None,
+    backend: Optional[ExecutionBackend] = None,
+    store: Optional[Store] = None,
 ) -> List[SweepPoint]:
     """Figure 6b: error/speedup for different history sizes H (W=2, P=∞)."""
     configs = [
         (h, TaskPointConfig(warmup_instances=warmup_instances, history_size=h, sampling_period=None))
         for h in history_values
     ]
-    return _sweep("H", configs, benchmarks, thread_counts, architecture, scale, seed, traces)
+    return _sweep("H", configs, benchmarks, thread_counts, architecture, scale, seed,
+                  backend, store)
 
 
 def period_sweep(
@@ -123,7 +128,8 @@ def period_sweep(
     history_size: int = 4,
     scale: float = 0.08,
     seed: int = 1,
-    traces: Optional[Dict[str, ApplicationTrace]] = None,
+    backend: Optional[ExecutionBackend] = None,
+    store: Optional[Store] = None,
 ) -> List[SweepPoint]:
     """Figure 6c: error/speedup for different sampling periods P (W=2, H=4)."""
     configs = [
@@ -137,4 +143,5 @@ def period_sweep(
         )
         for p in period_values
     ]
-    return _sweep("P", configs, benchmarks, thread_counts, architecture, scale, seed, traces)
+    return _sweep("P", configs, benchmarks, thread_counts, architecture, scale, seed,
+                  backend, store)

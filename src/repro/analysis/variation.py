@@ -11,11 +11,18 @@ every task instance normalized to the mean IPC of its task type (quartiles,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.arch.config import ArchitectureConfig
+from repro.exp.backends import ExecutionBackend, Store, run_experiments
+from repro.exp.spec import ExperimentResult, ExperimentSpec
 from repro.sim.results import SimulationResult
+
+#: Either a full simulation result or a condensed, stored experiment result;
+#: both expose ``benchmark``, ``num_threads`` and ``ipc_by_type()``.
+MeasuredResult = Union[SimulationResult, ExperimentResult]
 
 
 @dataclass(frozen=True)
@@ -88,7 +95,7 @@ class VariationReport:
         return self.box.within_5_percent
 
 
-def normalized_deviations(result: SimulationResult) -> List[float]:
+def normalized_deviations(result: MeasuredResult) -> List[float]:
     """Normalized IPC deviations (percent) of all measured task instances.
 
     Each detailed, non-warm-up instance's IPC is normalized to the mean IPC
@@ -105,8 +112,13 @@ def normalized_deviations(result: SimulationResult) -> List[float]:
     return deviations
 
 
-def ipc_variation(result: SimulationResult) -> VariationReport:
-    """Compute the Figure 1 / Figure 5 statistics for one simulation result."""
+def ipc_variation(result: MeasuredResult) -> VariationReport:
+    """Compute the Figure 1 / Figure 5 statistics for one simulation result.
+
+    Accepts either a live :class:`~repro.sim.results.SimulationResult` or a
+    condensed :class:`~repro.exp.spec.ExperimentResult` coming out of the
+    experiment orchestrator's result store.
+    """
     per_type: List[TypeVariation] = []
     for task_type, values in sorted(result.ipc_by_type(detailed_only=True).items()):
         if not values:
@@ -133,6 +145,41 @@ def ipc_variation(result: SimulationResult) -> VariationReport:
         box=BoxPlotStats.from_values(deviations),
         per_type=per_type,
     )
+
+
+def variation_grid(
+    benchmarks: Sequence[str],
+    num_threads: int = 8,
+    architecture: Optional[ArchitectureConfig] = None,
+    scale: float = 0.08,
+    seed: int = 1,
+    scheduler: str = "fifo",
+    scheduler_seed: int = 0,
+    backend: Optional[ExecutionBackend] = None,
+    store: Optional[Store] = None,
+) -> Dict[str, VariationReport]:
+    """Variation reports for a set of benchmarks, keyed by benchmark name.
+
+    The detailed runs the analysis needs are expressed as experiment specs
+    and submitted to the orchestrator, so they parallelise across a process
+    pool, hit the persistent result store, and are shared with any accuracy
+    grid that uses the same baselines.
+    """
+    specs = [
+        ExperimentSpec(
+            benchmark=name,
+            num_threads=num_threads,
+            scale=scale,
+            trace_seed=seed,
+            architecture=architecture,
+            config=None,
+            scheduler=scheduler,
+            scheduler_seed=scheduler_seed,
+        )
+        for name in benchmarks
+    ]
+    results = run_experiments(specs, backend=backend, store=store)
+    return {result.benchmark: ipc_variation(result) for result in results}
 
 
 def classification_agreement(

@@ -7,23 +7,41 @@ The CLI exposes the most common workflows without writing any Python:
   TaskPoint-sampled simulation of one benchmark,
 * ``python -m repro compare <benchmark>`` — run both and report the
   execution-time error and the simulation speedup,
+* ``python -m repro grid`` — a whole accuracy grid (benchmarks × thread
+  counts) through the experiment orchestrator,
+* ``python -m repro sweep {W,H,P}`` — a Figure 6 parameter sensitivity sweep,
 * ``python -m repro variation <benchmark>`` — per-task-type IPC variation
   (the Figure 1 / Figure 5 analysis) of one benchmark.
+
+The experiment-driven commands (``compare``, ``grid``, ``sweep``) accept
+``--jobs N`` to shard their experiments over an N-process pool and
+``--cache-dir DIR`` to persist every result on disk, keyed by experiment
+content hash — re-running an unchanged grid is then a pure cache hit.
+``$REPRO_CACHE_DIR`` provides a default cache directory.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
-from repro.analysis.reporting import format_table
+from repro.analysis.accuracy import evaluate_grid
+from repro.analysis.reporting import format_table, render_accuracy_table
+from repro.analysis.sweep import history_sweep, period_sweep, warmup_sweep
 from repro.analysis.variation import ipc_variation
 from repro.arch.config import high_performance_config, low_power_config
-from repro.core.api import compare_with_detailed, sampled_simulation
+from repro.core.api import sampled_simulation
 from repro.core.config import TaskPointConfig
+from repro.exp import (
+    ExperimentSpec,
+    ResultStore,
+    default_store,
+    make_backend,
+    run_experiments,
+)
 from repro.sim.simulator import simulate
-from repro.workloads.registry import get_workload, list_workloads
+from repro.workloads.registry import SENSITIVITY_SUBSET, get_workload, list_workloads
 
 
 def _architecture(name: str):
@@ -43,6 +61,22 @@ def _taskpoint_config(args: argparse.Namespace) -> TaskPointConfig:
     )
 
 
+def _int_list(raw: str) -> List[int]:
+    return [int(part) for part in raw.split(",") if part]
+
+
+def _benchmark_list(raw: str) -> List[str]:
+    if raw == "all":
+        return list_workloads()
+    return [part for part in raw.split(",") if part]
+
+
+def _backend_and_store(args: argparse.Namespace):
+    backend = make_backend(args.jobs)
+    store = ResultStore(args.cache_dir) if args.cache_dir else default_store()
+    return backend, store
+
+
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("benchmark", help="benchmark name (see 'repro list')")
     parser.add_argument("--threads", type=int, default=8, help="simulated threads")
@@ -58,6 +92,14 @@ def _add_taskpoint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--period", type=int, default=250, help="sampling period P")
     parser.add_argument("--warmup", type=int, default=2, help="warm-up instances W")
     parser.add_argument("--history", type=int, default=4, help="history size H")
+
+
+def _add_orchestrator_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel worker processes (default 1 = serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent experiment result store "
+                             "(default: $REPRO_CACHE_DIR if set)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,6 +120,40 @@ def build_parser() -> argparse.ArgumentParser:
     cmp = subparsers.add_parser("compare", help="sampled versus detailed simulation")
     _add_common_arguments(cmp)
     _add_taskpoint_arguments(cmp)
+    _add_orchestrator_arguments(cmp)
+
+    grid = subparsers.add_parser(
+        "grid", help="accuracy grid (benchmarks x thread counts) via the orchestrator"
+    )
+    grid.add_argument("--benchmarks", default="all",
+                      help="comma-separated benchmark names, or 'all' (default)")
+    grid.add_argument("--threads", default="8,16,32,64",
+                      help="comma-separated simulated thread counts")
+    grid.add_argument("--scale", type=float, default=0.05,
+                      help="workload scale relative to Table I (default 0.05)")
+    grid.add_argument("--seed", type=int, default=1, help="trace-generation seed")
+    grid.add_argument("--architecture", choices=["high-performance", "low-power"],
+                      default="high-performance")
+    _add_taskpoint_arguments(grid)
+    _add_orchestrator_arguments(grid)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="parameter sensitivity sweep (Figure 6) via the orchestrator"
+    )
+    sweep.add_argument("parameter", choices=["W", "H", "P"],
+                       help="swept parameter: warm-up, history size or period")
+    sweep.add_argument("--values", default=None,
+                       help="comma-separated parameter values (paper defaults if omitted)")
+    sweep.add_argument("--benchmarks", default=",".join(SENSITIVITY_SUBSET),
+                       help="comma-separated benchmark names, or 'all'")
+    sweep.add_argument("--threads", default="32,64",
+                       help="comma-separated simulated thread counts")
+    sweep.add_argument("--scale", type=float, default=0.05,
+                       help="workload scale relative to Table I (default 0.05)")
+    sweep.add_argument("--seed", type=int, default=1, help="trace-generation seed")
+    sweep.add_argument("--architecture", choices=["high-performance", "low-power"],
+                       default="high-performance")
+    _add_orchestrator_arguments(sweep)
 
     var = subparsers.add_parser("variation", help="per-task-type IPC variation")
     _add_common_arguments(var)
@@ -113,24 +189,83 @@ def _command_simulate(args: argparse.Namespace) -> int:
 
 
 def _command_compare(args: argparse.Namespace) -> int:
-    trace = get_workload(args.benchmark).generate(scale=args.scale, seed=args.seed)
-    comparison = compare_with_detailed(
-        trace,
+    spec = ExperimentSpec(
+        benchmark=args.benchmark,
         num_threads=args.threads,
+        scale=args.scale,
+        trace_seed=args.seed,
         architecture=_architecture(args.architecture),
         config=_taskpoint_config(args),
     )
-    print(f"benchmark            : {comparison.benchmark}")
-    print(f"architecture         : {comparison.architecture}")
-    print(f"threads              : {comparison.num_threads}")
-    print(f"detailed cycles      : {comparison.detailed.total_cycles:,.0f}")
-    print(f"sampled cycles       : {comparison.sampled.total_cycles:,.0f}")
-    print(f"execution-time error : {comparison.error_percent:.2f} %")
-    print(f"simulation speedup   : {comparison.speedup:.1f}x")
-    stats = comparison.taskpoint_stats
+    backend, store = _backend_and_store(args)
+    sampled, detailed = run_experiments(
+        [spec, spec.baseline()], backend=backend, store=store
+    )
+    print(f"benchmark            : {sampled.benchmark}")
+    print(f"architecture         : {sampled.architecture}")
+    print(f"threads              : {sampled.num_threads}")
+    print(f"detailed cycles      : {detailed.total_cycles:,.0f}")
+    print(f"sampled cycles       : {sampled.total_cycles:,.0f}")
+    print(f"execution-time error : {sampled.error_versus(detailed) * 100.0:.2f} %")
+    print(f"simulation speedup   : {sampled.speedup_versus(detailed):.1f}x")
+    stats = sampled.taskpoint or {}
     print(f"warm-up / valid / fast-forwarded: "
-          f"{stats.warmup_instances} / {stats.valid_samples} / {stats.fast_forwarded}")
-    print(f"resamples            : {stats.resamples}")
+          f"{stats.get('warmup_instances', 0)} / {stats.get('valid_samples', 0)}"
+          f" / {stats.get('fast_forwarded', 0)}")
+    print(f"resamples            : {stats.get('resamples', 0)}")
+    return 0
+
+
+def _command_grid(args: argparse.Namespace) -> int:
+    backend, store = _backend_and_store(args)
+    results = evaluate_grid(
+        _benchmark_list(args.benchmarks),
+        _int_list(args.threads),
+        architecture=_architecture(args.architecture),
+        config=_taskpoint_config(args),
+        scale=args.scale,
+        seed=args.seed,
+        backend=backend,
+        store=store,
+    )
+    policy = "lazy" if args.policy == "lazy" else f"periodic P={args.period}"
+    print(render_accuracy_table(
+        results,
+        title=(f"Accuracy grid: {policy}, W={args.warmup}, H={args.history}, "
+               f"{args.architecture} architecture, scale={args.scale}"),
+    ))
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    backend, store = _backend_and_store(args)
+    kwargs = dict(
+        benchmarks=_benchmark_list(args.benchmarks),
+        thread_counts=_int_list(args.threads),
+        architecture=_architecture(args.architecture),
+        scale=args.scale,
+        seed=args.seed,
+        backend=backend,
+        store=store,
+    )
+    if args.parameter == "W":
+        sweep, values_key = warmup_sweep, "warmup_values"
+    elif args.parameter == "H":
+        sweep, values_key = history_sweep, "history_values"
+    else:
+        sweep, values_key = period_sweep, "period_values"
+    if args.values:
+        kwargs[values_key] = tuple(_int_list(args.values))
+    points = sweep(**kwargs)
+    rows = [
+        [point.value, point.average_error_percent, point.average_speedup,
+         point.experiments]
+        for point in points
+    ]
+    print(f"sensitivity sweep over {args.parameter} "
+          f"({args.architecture} architecture, scale={args.scale})")
+    print(format_table([args.parameter, "avg error [%]", "avg speedup", "experiments"],
+                       rows))
     return 0
 
 
@@ -162,6 +297,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_simulate(args)
         if args.command == "compare":
             return _command_compare(args)
+        if args.command == "grid":
+            return _command_grid(args)
+        if args.command == "sweep":
+            return _command_sweep(args)
         if args.command == "variation":
             return _command_variation(args)
     except KeyError as error:

@@ -1,0 +1,65 @@
+"""Unified experiment orchestration.
+
+Every evaluation in this repository — accuracy grids, parameter sweeps,
+variation analyses, benchmark harnesses, the CLI — is a set of independent
+experiments: simulate one workload on one architecture with one thread count
+under one sampling configuration.  This package is the single substrate that
+describes, schedules, executes and caches those experiments:
+
+* :mod:`repro.exp.spec` — :class:`ExperimentSpec`, a frozen, hashable,
+  JSON-serialisable experiment descriptor with a stable content key, and
+  :class:`ExperimentResult`, its serialisable outcome,
+* :mod:`repro.exp.backends` — pluggable execution backends
+  (:class:`SerialBackend`, :class:`ProcessPoolBackend`) and the
+  :func:`run_experiments` driver with automatic baseline deduplication,
+* :mod:`repro.exp.store` — the persistent on-disk :class:`ResultStore`
+  (keyed by spec content hash) and its in-memory sibling.
+
+Typical use::
+
+    from repro.exp import ExperimentSpec, ProcessPoolBackend, ResultStore, run_experiments
+    from repro.core.config import lazy_config
+
+    specs = [
+        ExperimentSpec("cholesky", num_threads=t, scale=0.05, config=lazy_config())
+        for t in (8, 16, 32, 64)
+    ]
+    specs += [spec.baseline() for spec in specs]       # shared detailed runs
+    results = run_experiments(
+        specs,
+        backend=ProcessPoolBackend(max_workers=4),
+        store=ResultStore("~/.cache/repro"),
+    )
+"""
+
+from repro.exp.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+    run_experiments,
+)
+from repro.exp.runner import get_trace, run_spec
+from repro.exp.spec import ExperimentResult, ExperimentSpec
+from repro.exp.store import (
+    CACHE_DIR_ENV,
+    MemoryResultStore,
+    ResultStore,
+    default_store,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "ExperimentResult",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "make_backend",
+    "run_experiments",
+    "run_spec",
+    "get_trace",
+    "ResultStore",
+    "MemoryResultStore",
+    "default_store",
+    "CACHE_DIR_ENV",
+]

@@ -1,0 +1,130 @@
+"""Pluggable execution backends and the ``run_experiments`` driver.
+
+A backend executes a list of *unique* :class:`ExperimentSpec` objects and
+returns their results in the same order.  :func:`run_experiments` is the
+entry point every consumer goes through: it deduplicates the submitted specs
+by content key (so the detailed baselines a grid shares are simulated exactly
+once no matter how many sampled experiments reference them), satisfies what
+it can from an optional result store, dispatches only the misses to the
+backend, persists the fresh results and returns them in submission order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Protocol, Sequence, Union
+
+from repro.exp.runner import run_spec
+from repro.exp.spec import ExperimentResult, ExperimentSpec
+from repro.exp.store import MemoryResultStore, ResultStore
+
+Store = Union[ResultStore, MemoryResultStore]
+
+
+class ExecutionBackend(Protocol):
+    """Executes unique experiment specs; results in submission order."""
+
+    def run(self, specs: Sequence[ExperimentSpec]) -> List[ExperimentResult]:
+        """Execute ``specs`` and return one result per spec, in order."""
+        ...
+
+
+class SerialBackend:
+    """Runs every experiment in the calling process, one after another."""
+
+    def run(self, specs: Sequence[ExperimentSpec]) -> List[ExperimentResult]:
+        return [run_spec(spec) for spec in specs]
+
+
+class ProcessPoolBackend:
+    """Shards experiments across worker processes.
+
+    Each spec is one unit of work; ``concurrent.futures`` maps them over the
+    pool and returns results in submission order, so the output is
+    deterministic and identical to :class:`SerialBackend` regardless of the
+    worker count or completion order.  Specs are self-contained (workers
+    regenerate traces from the spec), so nothing but the spec crosses the
+    process boundary on the way in.
+
+    Parameters
+    ----------
+    max_workers:
+        Size of the process pool; defaults to the host's CPU count.
+    chunksize:
+        Number of specs handed to a worker per dispatch; larger chunks
+        amortise IPC for big grids of small experiments.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None, chunksize: int = 1) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+        self.max_workers = max_workers
+        self.chunksize = chunksize
+
+    def run(self, specs: Sequence[ExperimentSpec]) -> List[ExperimentResult]:
+        if not specs:
+            return []
+        # Defensive dedup: run_experiments already submits unique specs, but
+        # a directly-driven backend must still simulate shared baselines once.
+        unique: Dict[str, ExperimentSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.content_key(), spec)
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            results = list(
+                pool.map(run_spec, list(unique.values()), chunksize=self.chunksize)
+            )
+        by_key = dict(zip(unique.keys(), results))
+        return [by_key[spec.content_key()] for spec in specs]
+
+
+def make_backend(jobs: Optional[int]) -> ExecutionBackend:
+    """Backend for ``jobs`` parallel workers (``None``/``0``/``1`` = serial)."""
+    if jobs is None or jobs <= 1:
+        return SerialBackend()
+    return ProcessPoolBackend(max_workers=jobs)
+
+
+def run_experiments(
+    specs: Sequence[ExperimentSpec],
+    backend: Optional[ExecutionBackend] = None,
+    store: Optional[Store] = None,
+) -> List[ExperimentResult]:
+    """Execute ``specs`` and return their results in submission order.
+
+    Parameters
+    ----------
+    specs:
+        Experiments to run.  Duplicates (by content key) are executed once
+        and their shared result is returned at every submission position.
+    backend:
+        Execution backend; defaults to :class:`SerialBackend`.
+    store:
+        Optional result store consulted before execution and updated after;
+        a warm store turns an unchanged grid into a pure cache hit.
+    """
+    backend = backend if backend is not None else SerialBackend()
+    keys = [spec.content_key() for spec in specs]
+    unique: Dict[str, ExperimentSpec] = {}
+    for spec, key in zip(specs, keys):
+        unique.setdefault(key, spec)
+
+    results: Dict[str, ExperimentResult] = {}
+    missing: List[ExperimentSpec] = []
+    for key, spec in unique.items():
+        cached = store.get(spec) if store is not None else None
+        if cached is not None:
+            results[key] = cached
+        else:
+            missing.append(spec)
+
+    if missing:
+        fresh = backend.run(missing)
+        for spec, result in zip(missing, fresh):
+            key = spec.content_key()
+            results[key] = result
+            if store is not None:
+                store.put(spec, result)
+
+    return [results[key] for key in keys]

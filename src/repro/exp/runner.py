@@ -1,0 +1,53 @@
+"""Execution of a single :class:`~repro.exp.spec.ExperimentSpec`.
+
+This module is the one place that turns a spec into simulator calls.  Both
+execution backends (and the worker processes of the process-pool backend)
+funnel through :func:`run_spec`, so serial and parallel execution are
+guaranteed to run byte-identical experiments.
+
+Trace generation is memoised per process: grids typically reuse the same
+(benchmark, scale, seed) trace across many thread counts and sampling
+configurations, and regenerating it for every spec would dominate the run
+time.  The memo replaces the ad-hoc trace dictionaries the analysis layer
+and the benchmark harnesses used to carry around.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.controller import TaskPointController
+from repro.exp.spec import ExperimentResult, ExperimentSpec
+from repro.sim.simulator import TaskSimSimulator
+from repro.trace.trace import ApplicationTrace
+from repro.workloads.registry import get_workload
+
+#: Traces kept per process; large enough for the full 19-benchmark grids.
+_TRACE_CACHE_SIZE = 64
+
+
+@lru_cache(maxsize=_TRACE_CACHE_SIZE)
+def get_trace(benchmark: str, scale: float, seed: int) -> ApplicationTrace:
+    """Return (generating once per process) the trace of ``benchmark``.
+
+    Trace generation is deterministic in (benchmark, scale, seed), which is
+    what makes specs self-contained: a worker process can regenerate exactly
+    the trace the submitting process described.
+    """
+    return get_workload(benchmark).generate(scale=scale, seed=seed)
+
+
+def run_spec(spec: ExperimentSpec) -> ExperimentResult:
+    """Execute one experiment and return its condensed result."""
+    trace = get_trace(spec.benchmark, spec.scale, spec.trace_seed)
+    simulator = TaskSimSimulator(
+        architecture=spec.architecture,
+        scheduler=spec.scheduler,
+        scheduler_seed=spec.scheduler_seed,
+    )
+    if spec.is_detailed:
+        result = simulator.run(trace, num_threads=spec.num_threads, controller=None)
+        return ExperimentResult.from_simulation(spec, result)
+    controller = TaskPointController(config=spec.config)
+    result = simulator.run(trace, num_threads=spec.num_threads, controller=controller)
+    return ExperimentResult.from_simulation(spec, result, stats=controller.stats)

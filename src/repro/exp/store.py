@@ -1,0 +1,143 @@
+"""Persistent and in-memory experiment result stores.
+
+The :class:`ResultStore` is an on-disk JSON cache keyed by the spec content
+key: one ``<key>.json`` file per experiment, written atomically so concurrent
+processes (e.g. the workers of two simultaneous sweeps sharing a cache
+directory) never observe half-written entries.  Re-running a figure or sweep
+with unchanged parameters is then a pure cache hit across processes and
+sessions.
+
+:class:`MemoryResultStore` implements the same interface in memory; the
+benchmark harnesses use it to share detailed baselines between figures within
+one pytest session without persisting anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.exp.spec import ExperimentResult, ExperimentSpec
+
+#: Environment variable selecting a default on-disk cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+class MemoryResultStore:
+    """In-memory result store (shared baselines within one process)."""
+
+    def __init__(self) -> None:
+        self._results: Dict[str, ExperimentResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def get(self, spec: ExperimentSpec) -> Optional[ExperimentResult]:
+        """Return the cached result of ``spec``, or ``None``."""
+        result = self._results.get(spec.content_key())
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, spec: ExperimentSpec, result: ExperimentResult) -> None:
+        """Cache ``result`` under ``spec``'s content key."""
+        self._results[spec.content_key()] = result
+
+    def clear(self) -> None:
+        """Drop all cached results (counters are kept)."""
+        self._results.clear()
+
+
+class ResultStore:
+    """On-disk JSON result cache keyed by spec content hash.
+
+    Parameters
+    ----------
+    directory:
+        Cache directory; created on first write.  Every entry is a single
+        ``<content-key>.json`` file holding the spec (for provenance and
+        debugging) and the result.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory).expanduser()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, spec: ExperimentSpec) -> Path:
+        return self.directory / f"{spec.content_key()}.json"
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        # pathlib's glob matches dotfiles, so exclude the ".tmp-*.json" files
+        # an interrupted put() may leave behind.
+        return sum(
+            1 for path in self.directory.glob("*.json")
+            if not path.name.startswith(".")
+        )
+
+    def get(self, spec: ExperimentSpec) -> Optional[ExperimentResult]:
+        """Return the stored result of ``spec``, or ``None`` on a miss.
+
+        Unreadable or corrupt entries count as misses (and are overwritten by
+        the next :meth:`put`), so a damaged cache degrades to recomputation
+        instead of failing the run.
+
+        Host wall-clock time is dropped from served results: a stored entry
+        may come from another session or machine, and pairing its wall time
+        with a run timed here would produce a meaningless wall speedup.  The
+        deterministic cost model is unaffected.
+        """
+        path = self._path(spec)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            result = ExperimentResult.from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        result.wall_seconds = None
+        self.hits += 1
+        return result
+
+    def put(self, spec: ExperimentSpec, result: ExperimentResult) -> None:
+        """Persist ``result`` atomically under ``spec``'s content key."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {"spec": spec.to_dict(), "result": result.to_dict()}
+        text = json.dumps(payload, sort_keys=True, indent=1)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_name, self._path(spec))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete all cache entries; return how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+
+def default_store() -> Optional[ResultStore]:
+    """Store selected by the ``REPRO_CACHE_DIR`` environment variable."""
+    directory = os.environ.get(CACHE_DIR_ENV)
+    return ResultStore(directory) if directory else None

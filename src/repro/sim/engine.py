@@ -130,7 +130,11 @@ class SimulationEngine:
     def run(self) -> SimulationResult:
         """Simulate the complete application and return the result."""
         current_cycle = 0.0
+        # Min-heap of idle worker ids: dispatch always picks the lowest id
+        # first, at O(log n) per push/pop instead of the O(n) pop(0)/sort of
+        # a plain list.
         idle_workers: List[int] = list(range(self.num_threads))
+        heapq.heapify(idle_workers)
         completions: List[_Completion] = []
         running: Dict[int, _Completion] = {}
         instance_results: List[InstanceResult] = []
@@ -146,7 +150,7 @@ class SimulationEngine:
                 instance = self.runtime.next_task(worker_id)
                 if instance is None:
                     break
-                idle_workers.pop(0)
+                heapq.heappop(idle_workers)
                 assignments.append((worker_id, instance))
             active_workers = len(running) + len(assignments)
             for worker_id, instance in assignments:
@@ -200,8 +204,7 @@ class SimulationEngine:
             )
             self.controller.notify_completion(info)
             self.runtime.notify_completion(instance, worker_id)
-            idle_workers.append(worker_id)
-            idle_workers.sort()
+            heapq.heappush(idle_workers, worker_id)
             instance_results.append(
                 InstanceResult(
                     instance_id=instance.instance_id,

@@ -19,6 +19,7 @@ from __future__ import annotations
 import abc
 import math
 import random
+import zlib
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -102,7 +103,11 @@ class Workload(abc.ABC):
         builder.set_metadata("scale", scale)
         builder.set_metadata("category", self.category)
         builder.set_metadata("paper_task_instances", self.paper_task_instances)
-        rng = random.Random((seed * 1_000_003) ^ hash(self.name) & 0xFFFFFFFF)
+        # zlib.crc32 rather than hash(): str hashes are randomised per
+        # process (PYTHONHASHSEED), which would make the "same trace for the
+        # same (scale, seed)" contract hold only within a single process and
+        # break cross-process experiment reproducibility.
+        rng = random.Random((seed * 1_000_003) ^ zlib.crc32(self.name.encode("utf-8")))
         self.build(builder, num_instances, rng)
         trace = builder.build()
         return trace

@@ -19,8 +19,10 @@ from repro.analysis.variation import (
     classification_agreement,
     ipc_variation,
     normalized_deviations,
+    variation_grid,
 )
 from repro.core.config import lazy_config
+from repro.exp import MemoryResultStore
 from repro.sim.simulator import simulate
 from repro.workloads.registry import get_workload
 
@@ -71,6 +73,20 @@ class TestIpcVariation:
         trace = build_uniform_trace(num_instances=80)
         report = ipc_variation(simulate(trace, num_threads=2))
         assert report.within_5_percent
+
+    def test_variation_grid_matches_direct_analysis(self):
+        trace = get_workload("swaptions").generate(scale=0.004, seed=1)
+        direct = ipc_variation(simulate(trace, num_threads=2))
+        store = MemoryResultStore()
+        reports = variation_grid(["swaptions"], num_threads=2, scale=0.004, seed=1,
+                                 store=store)
+        assert set(reports) == {"swaptions"}
+        assert reports["swaptions"] == direct
+        # The detailed run is cached under its spec key and reused on rerun.
+        rerun = variation_grid(["swaptions"], num_threads=2, scale=0.004, seed=1,
+                               store=store)
+        assert rerun == reports
+        assert store.hits == 1
 
     def test_classification_agreement(self):
         trace = build_uniform_trace(num_instances=60)
@@ -139,13 +155,20 @@ class TestAccuracy:
         with pytest.raises(ValueError):
             summarize([])
 
-    def test_evaluate_grid_reuses_provided_traces(self):
-        trace = get_workload("swaptions").generate(scale=0.004, seed=7)
+    def test_evaluate_grid_reuses_cached_results(self):
+        store = MemoryResultStore()
         results = evaluate_grid(
             benchmarks=["swaptions"], thread_counts=[2],
-            traces={"swaptions": trace}, config=lazy_config(),
+            scale=0.004, seed=7, config=lazy_config(), store=store,
         )
         assert results[0].benchmark == "swaptions"
+        assert len(store) == 2  # one sampled run plus its detailed baseline
+        rerun = evaluate_grid(
+            benchmarks=["swaptions"], thread_counts=[2],
+            scale=0.004, seed=7, config=lazy_config(), store=store,
+        )
+        assert rerun == results
+        assert store.hits == 2
 
 
 class TestReporting:
