@@ -25,8 +25,10 @@ from repro.arch.dram import DramModel
 from repro.arch.interconnect import Interconnect
 from repro.arch.rob import RobModel
 from repro.arch.core import DetailedCoreModel, InstanceExecution
+from repro.arch.batch import BatchedCoreExecutor
 
 __all__ = [
+    "BatchedCoreExecutor",
     "ArchitectureConfig",
     "CacheConfig",
     "CoreConfig",

@@ -36,7 +36,13 @@ from repro.core.fastforward import FastForwardEstimator
 from repro.core.history import HistoryTable
 from repro.core.policies import SamplingPolicy, make_policy
 from repro.runtime.task import TaskInstance
-from repro.sim.modes import CompletionInfo, ModeDecision, SimulationMode
+from repro.sim.modes import (
+    DETAILED_DECISION,
+    DETAILED_WARMUP_DECISION,
+    CompletionInfo,
+    ModeDecision,
+    SimulationMode,
+)
 
 
 class SamplingPhase(enum.Enum):
@@ -224,7 +230,7 @@ class TaskPointController:
             self._trigger_resample(ResampleReason.PERIOD_ELAPSED)
             return self._detailed_decision(worker_id)
 
-        estimate = self.estimator.estimate(instance.record)
+        estimate = self.estimator.estimate_type(task_type, instance.instructions)
         if estimate is None:
             # No sample of any kind for this type: impossible to fast-forward.
             self._trigger_resample(ResampleReason.EMPTY_HISTORY)
@@ -237,8 +243,9 @@ class TaskPointController:
         return ModeDecision(mode=SimulationMode.BURST, ipc=estimate.ipc)
 
     def _detailed_decision(self, worker_id: int) -> ModeDecision:
-        is_warmup = self._warmup_remaining[worker_id] > 0
-        return ModeDecision(mode=SimulationMode.DETAILED, is_warmup=is_warmup)
+        if self._warmup_remaining[worker_id] > 0:
+            return DETAILED_WARMUP_DECISION
+        return DETAILED_DECISION
 
     def notify_completion(self, info: CompletionInfo) -> None:
         """Record the measured IPC of a detailed instance in the histories."""

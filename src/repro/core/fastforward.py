@@ -43,7 +43,13 @@ class FastForwardEstimator:
         holds any sample, in which case the caller must fall back to detailed
         simulation (and trigger resampling).
         """
-        state = self.histories.state(record.task_type)
+        return self.estimate_type(record.task_type, record.instructions)
+
+    def estimate_type(
+        self, task_type: str, instructions: int
+    ) -> Optional[FastForwardEstimate]:
+        """Estimate from scalars (hot path: no record view required)."""
+        state = self.histories.state(task_type)
         ipc = state.valid.mean()
         used_fallback = False
         if ipc is None:
@@ -51,5 +57,5 @@ class FastForwardEstimator:
             used_fallback = True
         if ipc is None or ipc <= 0:
             return None
-        cycles = max(1.0, record.instructions / ipc)
+        cycles = max(1.0, instructions / ipc)
         return FastForwardEstimate(ipc=ipc, cycles=cycles, used_fallback=used_fallback)

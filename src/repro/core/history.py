@@ -19,23 +19,48 @@ from typing import Deque, Dict, List, Optional
 
 
 class SampleHistory:
-    """A FIFO buffer of the most recent IPC samples of one task type."""
+    """A FIFO buffer of the most recent IPC samples of one task type.
+
+    The mean (queried by the fast-forward estimator on *every* burst-mode
+    decision) is maintained as a running sum while the buffer is filling and
+    cached between mutations, making :meth:`mean` O(1) on the hot path.  The
+    sum is deliberately **not** updated incrementally across evictions
+    (``running -= evicted; running += new`` changes the floating-point
+    rounding sequence): when the buffer is full, the cached sum is recomputed
+    in buffer order, which keeps every mean bit-identical to the naive
+    ``sum(samples) / len(samples)`` the estimator historically computed.
+    """
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("history capacity must be >= 1")
         self.capacity = capacity
         self._samples: Deque[float] = deque(maxlen=capacity)
+        self._sum = 0.0
+        self._cov: Optional[float] = None
+        self._cov_valid = False
 
     def add(self, ipc: float) -> None:
         """Append a sample; the oldest sample is dropped when full."""
         if ipc <= 0:
             raise ValueError(f"IPC samples must be positive, got {ipc}")
-        self._samples.append(ipc)
+        if len(self._samples) == self.capacity:
+            # Eviction: recompute the sum in buffer order (see class note).
+            self._samples.append(ipc)
+            total = 0.0
+            for value in self._samples:
+                total += value
+            self._sum = total
+        else:
+            self._samples.append(ipc)
+            self._sum += ipc
+        self._cov_valid = False
 
     def clear(self) -> None:
         """Discard all samples (used when the simulation is resampled)."""
         self._samples.clear()
+        self._sum = 0.0
+        self._cov_valid = False
 
     @property
     def samples(self) -> List[float]:
@@ -59,17 +84,28 @@ class SampleHistory:
         """Average IPC of the recorded samples, or ``None`` if empty."""
         if not self._samples:
             return None
-        return sum(self._samples) / len(self._samples)
+        return self._sum / len(self._samples)
 
     def coefficient_of_variation(self) -> Optional[float]:
-        """Relative dispersion (stddev / mean) of the samples, if >= 2 samples."""
+        """Relative dispersion (stddev / mean) of the samples, if >= 2 samples.
+
+        Cached between mutations; the underlying arithmetic is unchanged.
+        """
+        if self._cov_valid:
+            return self._cov
         if len(self._samples) < 2:
-            return None
-        mean = sum(self._samples) / len(self._samples)
-        if mean == 0:
-            return None
-        variance = sum((value - mean) ** 2 for value in self._samples) / len(self._samples)
-        return variance ** 0.5 / mean
+            self._cov = None
+        else:
+            mean = self._sum / len(self._samples)
+            if mean == 0:
+                self._cov = None
+            else:
+                variance = sum(
+                    (value - mean) ** 2 for value in self._samples
+                ) / len(self._samples)
+                self._cov = variance ** 0.5 / mean
+        self._cov_valid = True
+        return self._cov
 
 
 @dataclass

@@ -7,6 +7,10 @@ trace, so the tracker's job is the runtime-side bookkeeping: counting
 unsatisfied dependencies per instance, releasing dependents on completion and
 exposing the ready set.
 
+The tracker is built directly from the trace's dependency CSR arrays — no
+record views are materialised and the forward (dependent) edges are derived
+with one vectorised pass instead of per-record set insertions.
+
 The :class:`TaskGraphBuilder` additionally offers the data-clause style API
 (``submit(task, inputs=..., outputs=...)``) used by the examples, computing
 dependency edges the same way a data-flow runtime would (last-writer for
@@ -19,7 +23,6 @@ from collections import defaultdict
 from typing import Dict, Hashable, Iterable, List, Sequence, Set
 
 from repro.runtime.task import TaskInstance, TaskState, TaskType
-from repro.trace.records import TaskTraceRecord
 from repro.trace.trace import ApplicationTrace
 
 
@@ -28,23 +31,32 @@ class DependencyTracker:
 
     def __init__(self, trace: ApplicationTrace) -> None:
         self.trace = trace
-        self._types: Dict[str, TaskType] = {}
-        self.instances: List[TaskInstance] = []
-        for record in trace.records:
-            task_type = self._types.get(record.task_type)
-            if task_type is None:
-                task_type = TaskType(name=record.task_type, type_id=len(self._types))
-                self._types[record.task_type] = task_type
-            self.instances.append(
-                TaskInstance(
-                    record=record,
-                    task_type=task_type,
-                    remaining_dependencies=len(record.depends_on),
-                )
+        columns = trace.columns
+        self._types: Dict[str, TaskType] = {
+            name: TaskType(name=name, type_id=type_id)
+            for type_id, name in enumerate(columns.types.names)
+        }
+        types_by_id = [self._types[name] for name in columns.types.names]
+
+        dependency_counts = columns.dependency_counts().tolist()
+        instruction_counts = columns.instructions.tolist()
+        type_ids = columns.task_type_id.tolist()
+        self.instances: List[TaskInstance] = [
+            TaskInstance(
+                task_type=types_by_id[type_ids[index]],
+                remaining_dependencies=dependency_counts[index],
+                trace=trace,
+                instance_id=index,
+                instructions=instruction_counts[index],
             )
-        for record in trace.records:
-            for dependency in record.depends_on:
-                self.instances[dependency].dependents.add(record.instance_id)
+            for index in range(columns.num_records)
+        ]
+        # Forward edges: dependents of instance i, ascending.  The CSR lists
+        # are the tracker's only forward-edge state; the per-instance
+        # ``dependents`` sets stay empty (use :meth:`dependents_of`).
+        offsets, targets = columns.dependents_csr()
+        self._dependent_offsets = offsets.tolist()
+        self._dependent_targets = targets.tolist()
         self._completed = 0
 
     # ------------------------------------------------------------------
@@ -71,6 +83,12 @@ class DependencyTracker:
         """Return the instance with the given id."""
         return self.instances[instance_id]
 
+    def dependents_of(self, instance_id: int) -> List[int]:
+        """Ids of the instances that depend on ``instance_id``, ascending."""
+        start = self._dependent_offsets[instance_id]
+        stop = self._dependent_offsets[instance_id + 1]
+        return self._dependent_targets[start:stop]
+
     # ------------------------------------------------------------------
     def initially_ready(self) -> List[TaskInstance]:
         """Return (and mark) all instances with no dependencies as ready."""
@@ -94,12 +112,15 @@ class DependencyTracker:
             )
         self._completed += 1
         released: List[TaskInstance] = []
-        for dependent_id in sorted(instance.dependents):
-            dependent = self.instances[dependent_id]
+        instances = self.instances
+        start = self._dependent_offsets[instance_id]
+        stop = self._dependent_offsets[instance_id + 1]
+        for position in range(start, stop):
+            dependent = instances[self._dependent_targets[position]]
             dependent.remaining_dependencies -= 1
             if dependent.remaining_dependencies < 0:
                 raise RuntimeError(
-                    f"dependency counter of instance {dependent_id} became negative"
+                    f"dependency counter of instance {dependent.instance_id} became negative"
                 )
             if dependent.remaining_dependencies == 0 and dependent.state is TaskState.CREATED:
                 dependent.mark_ready()

@@ -10,14 +10,22 @@ paper: when the controller switches from sampling to fast-forward, instances
 that already started in detailed mode run to completion in detailed mode
 while newly dispatched instances start in burst mode, so short mixed phases
 occur naturally.
+
+Dispatch is index based: detailed execution goes through the
+:class:`~repro.arch.batch.BatchedCoreExecutor`, which resolves a task
+instance by its record index on the columnar trace backbone, and results
+accumulate into a columnar :class:`~repro.sim.results.InstanceTable`.  The
+original per-record model (``use_batched=False``) is kept for equivalence
+testing and as the baseline of the hot-path microbenchmark; both paths
+produce bit-identical results.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
+from repro.arch.batch import BatchedCoreExecutor
 from repro.arch.config import ArchitectureConfig
 from repro.arch.core import DetailedCoreModel
 from repro.arch.hierarchy import MemorySystem
@@ -33,7 +41,7 @@ from repro.sim.modes import (
     ModeDecision,
     SimulationMode,
 )
-from repro.sim.results import InstanceResult, SimulationResult
+from repro.sim.results import InstanceTable, SimulationResult
 from repro.trace.trace import ApplicationTrace
 
 #: Type of the optional per-instance noise callback: maps a task instance to a
@@ -45,16 +53,11 @@ class DeadlockError(RuntimeError):
     """Raised when no task is ready, none is running, but work remains."""
 
 
-@dataclass(order=True)
-class _Completion:
-    """Entry of the completion event queue (ordered by time, then sequence)."""
-
-    end_cycle: float
-    sequence: int
-    worker_id: int
-    instance: TaskInstance = None  # type: ignore[assignment]
-    decision: ModeDecision = None  # type: ignore[assignment]
-    ipc: float = 0.0
+#: Completion-queue entries are plain tuples
+#: ``(end_cycle, sequence, worker_id, instance, decision, ipc)`` — ordered by
+#: time then dispatch sequence; the unique sequence number guarantees the
+#: comparison never reaches the non-orderable payload fields, and tuple
+#: comparison stays in C.
 
 
 class SimulationEngine:
@@ -75,6 +78,10 @@ class SimulationEngine:
     noise_model:
         Optional multiplicative noise applied to detailed-mode cycle counts
         (used by the native-execution substitute).
+    use_batched:
+        Use the batched columnar executor for detailed mode (default).  The
+        per-record ``DetailedCoreModel`` path produces bit-identical results
+        and remains available as the microbenchmark baseline.
     """
 
     def __init__(
@@ -85,6 +92,7 @@ class SimulationEngine:
         scheduler: Optional[Scheduler] = None,
         controller: Optional[ModeController] = None,
         noise_model: Optional[NoiseModel] = None,
+        use_batched: bool = True,
     ) -> None:
         if num_threads < 1:
             raise ValueError("num_threads must be >= 1")
@@ -102,6 +110,11 @@ class SimulationEngine:
             DetailedCoreModel(core_id, self.memory_system, rob)
             for core_id in range(num_threads)
         ]
+        self.batched: Optional[BatchedCoreExecutor] = (
+            BatchedCoreExecutor(trace.columns, architecture, self.memory_system, rob)
+            if use_batched
+            else None
+        )
         self.cost = SimulationCost()
         self._sequence = 0
 
@@ -111,6 +124,17 @@ class SimulationEngine:
     ) -> tuple:
         """Run ``instance`` through the detailed model; return (cycles, ipc)."""
         noise = self.noise_model(instance) if self.noise_model is not None else None
+        batched = self.batched
+        if batched is not None:
+            index = instance.instance_id
+            cycles, ipc = batched.execute(
+                index, worker_id, active_cores=active_workers, noise=noise
+            )
+            self.cost.charge_detailed(
+                instructions=instance.instructions,
+                memory_events=batched.detail_events(index),
+            )
+            return cycles, ipc
         execution = self.cores[worker_id].execute(
             instance.record, active_cores=active_workers, noise=noise
         )
@@ -135,9 +159,9 @@ class SimulationEngine:
         # a plain list.
         idle_workers: List[int] = list(range(self.num_threads))
         heapq.heapify(idle_workers)
-        completions: List[_Completion] = []
-        running: Dict[int, _Completion] = {}
-        instance_results: List[InstanceResult] = []
+        completions: List[tuple] = []
+        running: set = set()
+        results = InstanceTable()
 
         while not self.runtime.finished():
             # Dispatch ready instances to idle workers.  Assignments are
@@ -165,16 +189,12 @@ class SimulationEngine:
                 else:
                     cycles, ipc = self._execute_burst(instance, decision.ipc)
                 self._sequence += 1
-                completion = _Completion(
-                    end_cycle=current_cycle + cycles,
-                    sequence=self._sequence,
-                    worker_id=worker_id,
-                    instance=instance,
-                    decision=decision,
-                    ipc=ipc,
+                heapq.heappush(
+                    completions,
+                    (current_cycle + cycles, self._sequence, worker_id, instance,
+                     decision, ipc),
                 )
-                heapq.heappush(completions, completion)
-                running[worker_id] = completion
+                running.add(worker_id)
 
             if not completions:
                 if self.runtime.finished():
@@ -185,38 +205,37 @@ class SimulationEngine:
                 )
 
             # Advance to the next completion.
-            completion = heapq.heappop(completions)
-            current_cycle = completion.end_cycle
-            worker_id = completion.worker_id
-            instance = completion.instance
-            del running[worker_id]
-            instance.mark_completed(current_cycle)
-            info = CompletionInfo(
-                instance=instance,
-                mode=completion.decision.mode,
-                cycles=current_cycle - instance.start_cycle,
-                ipc=completion.ipc,
-                is_warmup=completion.decision.is_warmup,
-                start_cycle=instance.start_cycle,
-                end_cycle=current_cycle,
-                worker_id=worker_id,
-                active_workers=len(running) + 1,
+            current_cycle, _, worker_id, instance, decision, completion_ipc = (
+                heapq.heappop(completions)
             )
-            self.controller.notify_completion(info)
+            running.remove(worker_id)
+            instance.mark_completed(current_cycle)
+            start_cycle = instance.start_cycle
+            self.controller.notify_completion(
+                CompletionInfo(
+                    instance,
+                    decision.mode,
+                    current_cycle - start_cycle,
+                    completion_ipc,
+                    decision.is_warmup,
+                    start_cycle,
+                    current_cycle,
+                    worker_id,
+                    len(running) + 1,
+                )
+            )
             self.runtime.notify_completion(instance, worker_id)
             heapq.heappush(idle_workers, worker_id)
-            instance_results.append(
-                InstanceResult(
-                    instance_id=instance.instance_id,
-                    task_type=instance.task_type.name,
-                    worker_id=worker_id,
-                    mode=completion.decision.mode,
-                    instructions=instance.instructions,
-                    start_cycle=instance.start_cycle,
-                    end_cycle=current_cycle,
-                    ipc=completion.ipc,
-                    is_warmup=completion.decision.is_warmup,
-                )
+            results.append(
+                instance.instance_id,
+                instance.task_type.name,
+                worker_id,
+                decision.mode is SimulationMode.DETAILED,
+                instance.instructions,
+                start_cycle,
+                current_cycle,
+                completion_ipc,
+                decision.is_warmup,
             )
 
         return SimulationResult(
@@ -224,7 +243,7 @@ class SimulationEngine:
             architecture=self.architecture.name,
             num_threads=self.num_threads,
             total_cycles=current_cycle,
-            instances=instance_results,
+            instances=results,
             cost=self.cost,
             metadata={"scheduler": type(self.runtime.scheduler).__name__},
         )

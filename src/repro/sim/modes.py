@@ -50,19 +50,53 @@ class ModeDecision:
                 raise ValueError("burst mode requires a positive target IPC")
 
 
-@dataclass(frozen=True)
 class CompletionInfo:
-    """Timing information reported to the controller after an instance ends."""
+    """Timing information reported to the controller after an instance ends.
 
-    instance: TaskInstance
-    mode: SimulationMode
-    cycles: float
-    ipc: float
-    is_warmup: bool
-    start_cycle: float
-    end_cycle: float
-    worker_id: int
-    active_workers: int
+    A ``__slots__`` value class rather than a frozen dataclass: one is built
+    per completed task instance on the engine hot path, and frozen-dataclass
+    construction (``object.__setattr__`` per field) is measurably slower.
+    """
+
+    __slots__ = (
+        "instance",
+        "mode",
+        "cycles",
+        "ipc",
+        "is_warmup",
+        "start_cycle",
+        "end_cycle",
+        "worker_id",
+        "active_workers",
+    )
+
+    def __init__(
+        self,
+        instance: TaskInstance,
+        mode: SimulationMode,
+        cycles: float,
+        ipc: float,
+        is_warmup: bool,
+        start_cycle: float,
+        end_cycle: float,
+        worker_id: int,
+        active_workers: int,
+    ) -> None:
+        self.instance = instance
+        self.mode = mode
+        self.cycles = cycles
+        self.ipc = ipc
+        self.is_warmup = is_warmup
+        self.start_cycle = start_cycle
+        self.end_cycle = end_cycle
+        self.worker_id = worker_id
+        self.active_workers = active_workers
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompletionInfo(instance={self.instance!r}, mode={self.mode},"
+            f" cycles={self.cycles}, ipc={self.ipc})"
+        )
 
 
 @runtime_checkable
@@ -84,6 +118,12 @@ class ModeController(Protocol):
         ...
 
 
+#: Shared immutable decisions — ModeDecision is frozen, so controllers on the
+#: hot path return these singletons instead of allocating per instance.
+DETAILED_DECISION = ModeDecision(mode=SimulationMode.DETAILED)
+DETAILED_WARMUP_DECISION = ModeDecision(mode=SimulationMode.DETAILED, is_warmup=True)
+
+
 class AlwaysDetailedController:
     """Baseline controller: every task instance is simulated in detail."""
 
@@ -95,7 +135,7 @@ class AlwaysDetailedController:
         current_cycle: float,
     ) -> ModeDecision:
         """Always choose detailed mode."""
-        return ModeDecision(mode=SimulationMode.DETAILED)
+        return DETAILED_DECISION
 
     def notify_completion(self, info: CompletionInfo) -> None:
         """No state to update."""
@@ -113,6 +153,7 @@ class FixedIpcController:
         if ipc <= 0:
             raise ValueError("IPC must be positive")
         self.ipc = ipc
+        self._decision = ModeDecision(mode=SimulationMode.BURST, ipc=ipc)
 
     def choose_mode(
         self,
@@ -122,7 +163,7 @@ class FixedIpcController:
         current_cycle: float,
     ) -> ModeDecision:
         """Always choose burst mode at the configured IPC."""
-        return ModeDecision(mode=SimulationMode.BURST, ipc=self.ipc)
+        return self._decision
 
     def notify_completion(self, info: CompletionInfo) -> None:
         """No state to update."""

@@ -1,10 +1,18 @@
-"""Simulation results and per-instance records."""
+"""Simulation results: columnar per-instance storage with record views.
+
+The engine accumulates per-instance outcomes as parallel scalar columns
+(:class:`InstanceTable`) instead of allocating one :class:`InstanceResult`
+dataclass per completion.  The table is a read-only sequence: indexing and
+iteration materialise (and cache) ``InstanceResult`` views, so existing
+record-oriented consumers keep working, while aggregate queries
+(``total_instructions``, ``ipc_by_type`` ...) run on the columns directly.
+"""
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.sim.cost import SimulationCost
 from repro.sim.modes import SimulationMode
@@ -30,6 +38,109 @@ class InstanceResult:
         return self.end_cycle - self.start_cycle
 
 
+class InstanceTable(Sequence):
+    """Columnar storage of per-instance results, in completion order.
+
+    Behaves like an immutable ``Sequence[InstanceResult]``; the dataclass
+    views are materialised lazily and cached.  The columns themselves are
+    plain Python lists (appends during simulation are O(1) and the values
+    are consumed as scalars).
+    """
+
+    __slots__ = (
+        "instance_id",
+        "task_type",
+        "worker_id",
+        "detailed",
+        "instructions",
+        "start_cycle",
+        "end_cycle",
+        "ipc",
+        "is_warmup",
+        "_views",
+    )
+
+    def __init__(self) -> None:
+        self.instance_id: List[int] = []
+        self.task_type: List[str] = []
+        self.worker_id: List[int] = []
+        self.detailed: List[bool] = []
+        self.instructions: List[int] = []
+        self.start_cycle: List[float] = []
+        self.end_cycle: List[float] = []
+        self.ipc: List[float] = []
+        self.is_warmup: List[bool] = []
+        self._views: Optional[List[Optional[InstanceResult]]] = None
+
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        instance_id: int,
+        task_type: str,
+        worker_id: int,
+        detailed: bool,
+        instructions: int,
+        start_cycle: float,
+        end_cycle: float,
+        ipc: float,
+        is_warmup: bool,
+    ) -> None:
+        """Record one completed instance (engine hot path)."""
+        self.instance_id.append(instance_id)
+        self.task_type.append(task_type)
+        self.worker_id.append(worker_id)
+        self.detailed.append(detailed)
+        self.instructions.append(instructions)
+        self.start_cycle.append(start_cycle)
+        self.end_cycle.append(end_cycle)
+        self.ipc.append(ipc)
+        self.is_warmup.append(is_warmup)
+        self._views = None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.instance_id)
+
+    def _view(self, index: int) -> InstanceResult:
+        if self._views is None:
+            self._views = [None] * len(self.instance_id)
+        view = self._views[index]
+        if view is None:
+            view = InstanceResult(
+                instance_id=self.instance_id[index],
+                task_type=self.task_type[index],
+                worker_id=self.worker_id[index],
+                mode=(
+                    SimulationMode.DETAILED
+                    if self.detailed[index]
+                    else SimulationMode.BURST
+                ),
+                instructions=self.instructions[index],
+                start_cycle=self.start_cycle[index],
+                end_cycle=self.end_cycle[index],
+                ipc=self.ipc[index],
+                is_warmup=self.is_warmup[index],
+            )
+            self._views[index] = view
+        return view
+
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            return [self._view(i) for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return self._view(index)
+
+    def __iter__(self) -> Iterator[InstanceResult]:
+        for index in range(len(self.instance_id)):
+            yield self._view(index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InstanceTable(len={len(self)})"
+
+
 @dataclass
 class SimulationResult:
     """Complete outcome of one simulation run.
@@ -45,7 +156,8 @@ class SimulationResult:
     total_cycles:
         Simulated execution time of the application (makespan).
     instances:
-        Per-instance timing records, in completion order.
+        Per-instance timing records, in completion order — either a plain
+        list of :class:`InstanceResult` or an :class:`InstanceTable`.
     cost:
         Simulation-cost accounting used for deterministic speedup numbers.
     wall_seconds:
@@ -56,7 +168,7 @@ class SimulationResult:
     architecture: str
     num_threads: int
     total_cycles: float
-    instances: List[InstanceResult] = field(default_factory=list)
+    instances: Sequence[InstanceResult] = field(default_factory=list)
     cost: SimulationCost = field(default_factory=SimulationCost)
     wall_seconds: Optional[float] = None
     metadata: Dict[str, object] = field(default_factory=dict)
@@ -70,6 +182,8 @@ class SimulationResult:
     @property
     def total_instructions(self) -> int:
         """Total dynamic instructions across all instances."""
+        if isinstance(self.instances, InstanceTable):
+            return sum(self.instances.instructions)
         return sum(instance.instructions for instance in self.instances)
 
     @property
@@ -96,7 +210,19 @@ class SimulationResult:
         because burst-mode IPC is an input of the model, not a measurement.
         """
         grouped: Dict[str, List[float]] = defaultdict(list)
-        for instance in self.instances:
+        table = self.instances
+        if isinstance(table, InstanceTable):
+            # Columnar path: no InstanceResult views are materialised.
+            task_type = table.task_type
+            detailed = table.detailed
+            warmup = table.is_warmup
+            ipc = table.ipc
+            for index in range(len(table)):
+                if detailed_only and (not detailed[index] or warmup[index]):
+                    continue
+                grouped[task_type[index]].append(ipc[index])
+            return dict(grouped)
+        for instance in table:
             if detailed_only and instance.mode is not SimulationMode.DETAILED:
                 continue
             if detailed_only and instance.is_warmup:
@@ -132,14 +258,20 @@ class SimulationResult:
 
     def summary(self) -> Dict[str, object]:
         """Return a flat summary dictionary for reporting."""
+        if isinstance(self.instances, InstanceTable):
+            num_detailed = sum(1 for flag in self.instances.detailed if flag)
+            num_burst = len(self.instances) - num_detailed
+        else:
+            num_detailed = len(self.detailed_instances)
+            num_burst = len(self.burst_instances)
         return {
             "benchmark": self.benchmark,
             "architecture": self.architecture,
             "threads": self.num_threads,
             "total_cycles": self.total_cycles,
             "instances": self.num_instances,
-            "detailed_instances": len(self.detailed_instances),
-            "burst_instances": len(self.burst_instances),
+            "detailed_instances": num_detailed,
+            "burst_instances": num_burst,
             "detailed_fraction": self.cost.detailed_fraction,
             "average_ipc": self.average_ipc(),
             "cost_units": self.cost.total_units,

@@ -18,6 +18,7 @@ substrate for the reproduction:
 """
 
 from repro.trace.records import ExecutionBlock, MemoryEvent, TaskTraceRecord
+from repro.trace.columns import ColumnBuilder, TaskTypeTable, TraceColumns
 from repro.trace.trace import ApplicationTrace, TraceStatistics
 from repro.trace.generator import TraceBuilder
 from repro.trace.patterns import (
@@ -32,6 +33,9 @@ __all__ = [
     "MemoryEvent",
     "ExecutionBlock",
     "TaskTraceRecord",
+    "ColumnBuilder",
+    "TaskTypeTable",
+    "TraceColumns",
     "ApplicationTrace",
     "TraceStatistics",
     "TraceBuilder",

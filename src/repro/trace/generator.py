@@ -4,15 +4,21 @@ Workload generators describe their task graph instance by instance; the
 :class:`TraceBuilder` takes care of instance numbering, block splitting and
 dependency bookkeeping and finally produces a validated
 :class:`~repro.trace.trace.ApplicationTrace`.
+
+Since the columnar-backbone refactor the builder emits directly into a
+:class:`~repro.trace.columns.ColumnBuilder` — no ``TaskTraceRecord`` objects
+are allocated during generation; record views are materialised from the
+columns only when record-oriented code asks for them.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
+from repro.trace.columns import ColumnBuilder
 from repro.trace.patterns import AddressSpaceAllocator
-from repro.trace.records import MemoryEvent, TaskTraceRecord, make_record
+from repro.trace.records import MemoryEvent, TaskTraceRecord
 from repro.trace.trace import ApplicationTrace
 
 
@@ -30,25 +36,25 @@ class TraceBuilder:
         self.seed = seed
         self.rng = random.Random(seed)
         self.allocator = AddressSpaceAllocator()
-        self._records: List[TaskTraceRecord] = []
+        self._columns = ColumnBuilder()
         self._metadata: Dict[str, object] = {"seed": seed}
 
     # ------------------------------------------------------------------
     @property
     def next_instance_id(self) -> int:
         """Identifier the next :meth:`add_task` call will receive."""
-        return len(self._records)
+        return self._columns.num_records
 
     @property
     def num_instances(self) -> int:
         """Number of task instances added so far."""
-        return len(self._records)
+        return self._columns.num_records
 
     def last_instance_id(self) -> Optional[int]:
         """Return the id of the most recently added instance, if any."""
-        if not self._records:
+        if self._columns.num_records == 0:
             return None
-        return self._records[-1].instance_id
+        return self._columns.num_records - 1
 
     def set_metadata(self, key: str, value: object) -> None:
         """Attach generator metadata (problem size, scale, ...) to the trace."""
@@ -65,7 +71,8 @@ class TraceBuilder:
     ) -> int:
         """Add one task instance and return its instance id.
 
-        Parameters mirror :func:`repro.trace.records.make_record`; dependencies
+        Parameters mirror :func:`repro.trace.records.make_record` (events are
+        split round-robin over ``blocks`` execution blocks); dependencies
         must refer to instances already added to this builder.
         """
         instance_id = self.next_instance_id
@@ -74,35 +81,29 @@ class TraceBuilder:
                 raise ValueError(
                     f"dependency {dependency} does not refer to an earlier instance"
                 )
-        record = make_record(
-            instance_id=instance_id,
+        return self._columns.add_task(
             task_type=task_type,
             instructions=instructions,
             memory_events=memory_events,
             depends_on=depends_on,
             blocks_hint=blocks,
         )
-        self._records.append(record)
-        return instance_id
 
     def add_record(self, record: TaskTraceRecord) -> int:
         """Add a pre-built record, renumbering it to the next instance id."""
-        instance_id = self.next_instance_id
-        renumbered = TaskTraceRecord(
-            instance_id=instance_id,
+        return self._columns.add_prepared(
             task_type=record.task_type,
             instructions=record.instructions,
-            blocks=list(record.blocks),
+            blocks=[
+                (block.instructions, block.memory_events) for block in record.blocks
+            ],
             depends_on=record.depends_on,
-            creation_order=instance_id,
         )
-        self._records.append(renumbered)
-        return instance_id
 
     def build(self) -> ApplicationTrace:
         """Finalise and validate the trace."""
         return ApplicationTrace(
             name=self.name,
-            records=list(self._records),
+            columns=self._columns.build(),
             metadata=dict(self._metadata),
         )

@@ -1,21 +1,60 @@
-"""Serialisation of application traces to and from JSON.
+"""Serialisation of application traces.
 
 Synthetic traces are cheap to regenerate, but persisting them is useful to
 pin down an exact experiment input (for instance when comparing two simulator
 versions) and mirrors the trace-file workflow of the original TaskSim setup.
+
+Two on-disk formats are supported, selected by file suffix:
+
+* ``.json`` / ``.json.gz`` — the original record-oriented JSON format
+  (format version 1), readable by any tool;
+* ``.npz`` — the columnar format: the NumPy arrays of
+  :class:`~repro.trace.columns.TraceColumns` written with
+  :func:`numpy.savez_compressed`.  This is both smaller and much faster to
+  load because no record objects are materialised.
+
+Trace files are untrusted input (hand-edited, truncated, or produced by
+other tools), so :func:`load_trace` still validates structure — but on the
+vectorised columnar fast path: instance-id density is checked during JSON
+deserialisation (it is implicit in the NPZ layout) and the dependency/block
+invariants run as NumPy array checks instead of the per-record O(n·deps)
+Python loop that construction from records would perform.
 """
 
 from __future__ import annotations
 
 import gzip
+import io as _io
 import json
+import os
 from pathlib import Path
 from typing import Union
 
+import numpy as np
+
+from repro.trace.columns import TaskTypeTable, TraceColumns
 from repro.trace.records import ExecutionBlock, MemoryEvent, TaskTraceRecord
-from repro.trace.trace import ApplicationTrace
+from repro.trace.trace import ApplicationTrace, TraceValidationError
 
 FORMAT_VERSION = 1
+
+#: Format marker stored inside the NPZ archive.
+NPZ_FORMAT_VERSION = 1
+
+_COLUMN_KEYS = (
+    "task_type_id",
+    "instructions",
+    "creation_order",
+    "dep_offsets",
+    "dep_targets",
+    "block_offsets",
+    "block_instructions",
+    "event_offsets",
+    "event_address",
+    "event_is_write",
+    "event_weight",
+    "event_shared",
+)
 
 
 def _event_to_dict(event: MemoryEvent) -> dict:
@@ -71,12 +110,20 @@ def _record_from_dict(data: dict) -> TaskTraceRecord:
     )
 
 
-def save_trace(trace: ApplicationTrace, path: Union[str, Path]) -> Path:
-    """Write ``trace`` to ``path`` as (optionally gzipped) JSON.
+def _is_npz(path: Path) -> bool:
+    return path.suffix == ".npz"
 
-    A ``.gz`` suffix selects gzip compression.  Returns the path written.
+
+def save_trace(trace: ApplicationTrace, path: Union[str, Path]) -> Path:
+    """Write ``trace`` to ``path``; the suffix selects the format.
+
+    ``.npz`` writes the compact columnar format; anything else writes JSON,
+    with a ``.gz`` suffix selecting gzip compression.  Returns the path
+    written.
     """
     path = Path(path)
+    if _is_npz(path):
+        return _save_npz(trace, path)
     payload = {
         "format_version": FORMAT_VERSION,
         "name": trace.name,
@@ -93,8 +140,16 @@ def save_trace(trace: ApplicationTrace, path: Union[str, Path]) -> Path:
 
 
 def load_trace(path: Union[str, Path]) -> ApplicationTrace:
-    """Load a trace previously written by :func:`save_trace`."""
+    """Load a trace previously written by :func:`save_trace`.
+
+    Structural invariants are enforced on the vectorised fast path (see
+    module docstring); a corrupt or reordered file raises
+    :class:`~repro.trace.trace.TraceValidationError` instead of loading as a
+    silently different trace.
+    """
     path = Path(path)
+    if _is_npz(path):
+        return _load_npz(path)
     if path.suffix == ".gz":
         with gzip.open(path, "rt", encoding="utf-8") as handle:
             payload = json.load(handle)
@@ -103,9 +158,63 @@ def load_trace(path: Union[str, Path]) -> ApplicationTrace:
     version = payload.get("format_version")
     if version != FORMAT_VERSION:
         raise ValueError(f"unsupported trace format version: {version}")
-    records = [_record_from_dict(entry) for entry in payload["records"]]
-    return ApplicationTrace(
+    records = []
+    for position, entry in enumerate(payload["records"]):
+        if entry["id"] != position:
+            raise TraceValidationError(
+                f"record at position {position} has instance_id {entry['id']}"
+            )
+        records.append(_record_from_dict(entry))
+    trace = ApplicationTrace(
         name=payload["name"],
         records=records,
         metadata=payload.get("metadata", {}),
+        validated=True,  # skip the per-record Python loop ...
+    )
+    trace.validate()  # ... but run the vectorised columnar checks.
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Columnar (NPZ) format
+# ----------------------------------------------------------------------
+def _save_npz(trace: ApplicationTrace, path: Path) -> Path:
+    columns = trace.columns
+    header = json.dumps(
+        {
+            "format_version": NPZ_FORMAT_VERSION,
+            "name": trace.name,
+            "metadata": trace.metadata,
+            "task_types": list(columns.types.names),
+        }
+    )
+    arrays = {key: getattr(columns, key) for key in _COLUMN_KEYS}
+    arrays["header"] = np.frombuffer(header.encode("utf-8"), dtype=np.uint8)
+    # Assemble in memory and publish with an atomic rename so a torn write
+    # cannot leave a half archive behind under the final name.
+    buffer = _io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    scratch = path.with_name(path.name + ".tmp")
+    scratch.write_bytes(buffer.getvalue())
+    os.replace(scratch, path)
+    return path
+
+
+def _load_npz(path: Path) -> ApplicationTrace:
+    with np.load(path, allow_pickle=False) as archive:
+        header = json.loads(bytes(archive["header"]).decode("utf-8"))
+        version = header.get("format_version")
+        if version != NPZ_FORMAT_VERSION:
+            raise ValueError(f"unsupported columnar trace format version: {version}")
+        columns = TraceColumns(
+            types=TaskTypeTable(header["task_types"]),
+            **{key: archive[key] for key in _COLUMN_KEYS},
+        )
+    # The file is untrusted input: check array integrity first, then let the
+    # trace constructor run the (vectorised) semantic validation.
+    columns.check_consistency()
+    return ApplicationTrace(
+        name=header["name"],
+        columns=columns,
+        metadata=header.get("metadata", {}),
     )

@@ -156,6 +156,35 @@ class TaskTraceRecord:
         return len(lines) * 64
 
 
+def split_into_blocks(
+    instructions: int,
+    memory_events: Optional[Sequence[MemoryEvent]],
+    blocks_hint: int,
+) -> List[Tuple[int, List[MemoryEvent]]]:
+    """Split a flat event list into ``(instructions, events)`` block tuples.
+
+    Events are distributed round-robin over ``blocks_hint`` execution blocks
+    and the instruction count is split evenly with the remainder charged to
+    the last block.  This is the single definition of the split used by both
+    :func:`make_record` and the columnar
+    :meth:`~repro.trace.columns.ColumnBuilder.add_task`, keeping record-built
+    and column-built traces bit-identical.
+    """
+    if blocks_hint < 1:
+        raise ValueError("blocks_hint must be >= 1")
+    events = list(memory_events or [])
+    blocks_hint = max(1, min(blocks_hint, max(1, len(events))))
+    per_block_instr = instructions // blocks_hint
+    remainder = instructions - per_block_instr * blocks_hint
+    return [
+        (
+            per_block_instr + (remainder if index == blocks_hint - 1 else 0),
+            events[index::blocks_hint],
+        )
+        for index in range(blocks_hint)
+    ]
+
+
 def make_record(
     instance_id: int,
     task_type: str,
@@ -168,20 +197,16 @@ def make_record(
     """Convenience constructor splitting a flat event list into blocks.
 
     The events are distributed round-robin over ``blocks_hint`` execution
-    blocks and the instruction count is split evenly, which is sufficient for
-    workload generators that do not care about intra-task phase behaviour.
+    blocks and the instruction count is split evenly (see
+    :func:`split_into_blocks`), which is sufficient for workload generators
+    that do not care about intra-task phase behaviour.
     """
-    if blocks_hint < 1:
-        raise ValueError("blocks_hint must be >= 1")
-    events = list(memory_events or [])
-    blocks_hint = max(1, min(blocks_hint, max(1, len(events))))
-    per_block_instr = instructions // blocks_hint
-    remainder = instructions - per_block_instr * blocks_hint
-    blocks: List[ExecutionBlock] = []
-    for index in range(blocks_hint):
-        block_events = tuple(events[index::blocks_hint])
-        block_instr = per_block_instr + (remainder if index == blocks_hint - 1 else 0)
-        blocks.append(ExecutionBlock(instructions=block_instr, memory_events=block_events))
+    blocks = [
+        ExecutionBlock(instructions=block_instr, memory_events=tuple(block_events))
+        for block_instr, block_events in split_into_blocks(
+            instructions, memory_events, blocks_hint
+        )
+    ]
     return TaskTraceRecord(
         instance_id=instance_id,
         task_type=task_type,

@@ -5,14 +5,21 @@ contains every task instance created by the (synthetic) program, in creation
 order, together with the dependency edges between them.  The trace also keeps
 aggregate statistics used by Table I of the paper (number of task types,
 number of task instances).
+
+Since the columnar-backbone refactor the source of truth is a
+:class:`~repro.trace.columns.TraceColumns` bundle of NumPy arrays;
+``TaskTraceRecord`` views are materialised lazily so record-oriented code
+(serialisation, tests, the legacy per-record detailed model) keeps working
+unchanged.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.trace.columns import ColumnBuilder, TraceColumns
 from repro.trace.records import TaskTraceRecord
 
 
@@ -20,17 +27,36 @@ class TraceValidationError(ValueError):
     """Raised when an application trace violates a structural invariant."""
 
 
-@dataclass(frozen=True)
 class TraceStatistics:
     """Aggregate statistics of an application trace (Table I columns)."""
 
-    name: str
-    num_task_types: int
-    num_task_instances: int
-    total_instructions: int
-    total_memory_accesses: int
-    instances_per_type: Dict[str, int]
-    instructions_per_type: Dict[str, int]
+    __slots__ = (
+        "name",
+        "num_task_types",
+        "num_task_instances",
+        "total_instructions",
+        "total_memory_accesses",
+        "instances_per_type",
+        "instructions_per_type",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        num_task_types: int,
+        num_task_instances: int,
+        total_instructions: int,
+        total_memory_accesses: int,
+        instances_per_type: Dict[str, int],
+        instructions_per_type: Dict[str, int],
+    ) -> None:
+        self.name = name
+        self.num_task_types = num_task_types
+        self.num_task_instances = num_task_instances
+        self.total_instructions = total_instructions
+        self.total_memory_accesses = total_memory_accesses
+        self.instances_per_type = instances_per_type
+        self.instructions_per_type = instructions_per_type
 
     @property
     def dominant_task_type(self) -> str:
@@ -43,41 +69,74 @@ class TraceStatistics:
             return 0.0
         return self.instructions_per_type.get(task_type, 0) / self.total_instructions
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceStatistics(name={self.name!r},"
+            f" types={self.num_task_types}, instances={self.num_task_instances})"
+        )
 
-@dataclass
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceStatistics):
+            return NotImplemented
+        return all(
+            getattr(self, slot) == getattr(other, slot) for slot in self.__slots__
+        )
+
+
 class ApplicationTrace:
     """The trace of one application run, replayed by the simulator.
 
-    Attributes
+    Parameters
     ----------
     name:
         Benchmark name (e.g. ``"cholesky"``).
     records:
-        Task-instance trace records in creation order.  ``records[i]`` must
-        have ``instance_id == i``.
+        Task-instance trace records in creation order (``records[i]`` must
+        have ``instance_id == i``).  Mutually exclusive with ``columns``;
+        provided records are converted to columns once at construction.
     metadata:
         Free-form information recorded by the workload generator (problem
         size, scale factor, seed, ...).
+    columns:
+        Columnar trace data (the native representation).
+    validated:
+        ``True`` skips structural validation — the fast path for traces that
+        were validated when they were first built (deserialisation of cached
+        trace files, experiment replay).  Generator output and hand-built
+        traces keep the full check.
     """
 
-    name: str
-    records: List[TaskTraceRecord] = field(default_factory=list)
-    metadata: Dict[str, object] = field(default_factory=dict)
-
-    def __post_init__(self) -> None:
-        self.validate()
+    def __init__(
+        self,
+        name: str,
+        records: Optional[Sequence[TaskTraceRecord]] = None,
+        metadata: Optional[Dict[str, object]] = None,
+        columns: Optional[TraceColumns] = None,
+        validated: bool = False,
+    ) -> None:
+        if columns is not None and records is not None:
+            raise ValueError("pass either records or columns, not both")
+        self.name = name
+        self.metadata: Dict[str, object] = metadata if metadata is not None else {}
+        self._statistics: Optional[TraceStatistics] = None
+        if columns is None:
+            record_list = list(records) if records is not None else []
+            if not validated:
+                self._validate_records(record_list)
+            self.columns = TraceColumns.from_records(record_list)
+            self._records: Optional[List[TaskTraceRecord]] = record_list
+        else:
+            self.columns = columns
+            self._records = None
+            if not validated:
+                self.columns.validate()
 
     # ------------------------------------------------------------------
     # Structure
     # ------------------------------------------------------------------
-    def validate(self) -> None:
-        """Check structural invariants; raise :class:`TraceValidationError`.
-
-        Invariants: instance ids are dense and match their position, and
-        dependencies only point to earlier (already created) instances, which
-        guarantees the task graph is acyclic.
-        """
-        for index, record in enumerate(self.records):
+    @staticmethod
+    def _validate_records(records: Sequence[TaskTraceRecord]) -> None:
+        for index, record in enumerate(records):
             if record.instance_id != index:
                 raise TraceValidationError(
                     f"record at position {index} has instance_id {record.instance_id}"
@@ -89,25 +148,38 @@ class ApplicationTrace:
                         " earlier instance"
                     )
 
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`TraceValidationError`.
+
+        Invariants: instance ids are dense and match their position (implicit
+        in the columnar layout), and dependencies only point to earlier
+        (already created) instances, which guarantees the task graph is
+        acyclic.
+        """
+        self.columns.validate()
+
+    @property
+    def records(self) -> List[TaskTraceRecord]:
+        """Record views in creation order, materialised (and cached) lazily."""
+        if self._records is None:
+            self._records = self.columns.to_records()
+        return self._records
+
     def __len__(self) -> int:
-        return len(self.records)
+        return self.columns.num_records
 
     def __iter__(self) -> Iterator[TaskTraceRecord]:
         return iter(self.records)
 
     def __getitem__(self, instance_id: int) -> TaskTraceRecord:
-        return self.records[instance_id]
+        if self._records is not None:
+            return self._records[instance_id]
+        return self.columns.record(instance_id)
 
     @property
     def task_types(self) -> Tuple[str, ...]:
         """Names of all task types, in order of first appearance."""
-        seen: List[str] = []
-        known = set()
-        for record in self.records:
-            if record.task_type not in known:
-                known.add(record.task_type)
-                seen.append(record.task_type)
-        return tuple(seen)
+        return self.columns.types.names
 
     def instances_of(self, task_type: str) -> List[TaskTraceRecord]:
         """Return all instances of ``task_type`` in creation order."""
@@ -115,35 +187,55 @@ class ApplicationTrace:
 
     def dependents(self) -> Dict[int, List[int]]:
         """Return the forward dependency map: instance id -> dependent ids."""
-        forward: Dict[int, List[int]] = {record.instance_id: [] for record in self.records}
-        for record in self.records:
-            for dependency in record.depends_on:
-                forward[dependency].append(record.instance_id)
-        return forward
+        offsets, targets = self.columns.dependents_csr()
+        offsets_list = offsets.tolist()
+        targets_list = targets.tolist()
+        return {
+            index: targets_list[offsets_list[index] : offsets_list[index + 1]]
+            for index in range(len(self))
+        }
 
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
     def statistics(self) -> TraceStatistics:
-        """Compute aggregate statistics (Table I style) for this trace."""
-        instances_per_type: Counter = Counter()
-        instructions_per_type: Counter = Counter()
-        total_instructions = 0
-        total_accesses = 0
-        for record in self.records:
-            instances_per_type[record.task_type] += 1
-            instructions_per_type[record.task_type] += record.instructions
-            total_instructions += record.instructions
-            total_accesses += record.memory_accesses
-        return TraceStatistics(
-            name=self.name,
-            num_task_types=len(instances_per_type),
-            num_task_instances=len(self.records),
-            total_instructions=total_instructions,
-            total_memory_accesses=total_accesses,
-            instances_per_type=dict(instances_per_type),
-            instructions_per_type=dict(instructions_per_type),
-        )
+        """Aggregate statistics (Table I style), computed once and cached.
+
+        The trace is immutable after construction, so the cache never needs
+        invalidation in normal use; call :meth:`invalidate_caches` after
+        (test-only) in-place surgery on the columns.
+        """
+        if self._statistics is None:
+            columns = self.columns
+            num_types = len(columns.types)
+            instance_counts = np.bincount(
+                columns.task_type_id, minlength=num_types
+            ).astype(np.int64)
+            # np.add.at keeps the accumulation in exact int64 arithmetic
+            # (bincount's weighted path would round-trip through float64).
+            instruction_counts = np.zeros(num_types, dtype=np.int64)
+            np.add.at(instruction_counts, columns.task_type_id, columns.instructions)
+            accesses = columns.memory_accesses_per_record()
+            names = columns.types.names
+            self._statistics = TraceStatistics(
+                name=self.name,
+                num_task_types=num_types,
+                num_task_instances=len(self),
+                total_instructions=int(columns.instructions.sum()),
+                total_memory_accesses=int(accesses.sum()),
+                instances_per_type={
+                    names[i]: int(instance_counts[i]) for i in range(num_types)
+                },
+                instructions_per_type={
+                    names[i]: int(instruction_counts[i]) for i in range(num_types)
+                },
+            )
+        return self._statistics
+
+    def invalidate_caches(self) -> None:
+        """Drop cached statistics and record views (after manual mutation)."""
+        self._statistics = None
+        self._records = None
 
     def critical_path_length(self) -> int:
         """Return the number of instances on the longest dependency chain.
@@ -152,27 +244,33 @@ class ApplicationTrace:
         embarrassingly parallel kernel has a critical path of 1 while a
         reduction tree has a logarithmic one and a pipeline a linear one.
         """
-        depth: Dict[int, int] = {}
-        longest = 0
-        for record in self.records:
-            level = 1
-            for dependency in record.depends_on:
-                level = max(level, depth[dependency] + 1)
-            depth[record.instance_id] = level
-            longest = max(longest, level)
-        return longest
+        return self._depth_levels()[0]
 
     def max_parallelism(self) -> int:
         """Upper bound on concurrently-ready instances (instances per level)."""
-        depth: Dict[int, int] = {}
-        per_level: Counter = Counter()
-        for record in self.records:
+        return self._depth_levels()[1]
+
+    def _depth_levels(self) -> Tuple[int, int]:
+        columns = self.columns
+        n = columns.num_records
+        if n == 0:
+            return 0, 0
+        dep_offsets = columns.dep_offsets.tolist()
+        dep_targets = columns.dep_targets.tolist()
+        depth = [1] * n
+        per_level: Dict[int, int] = {}
+        longest = 0
+        for index in range(n):
             level = 1
-            for dependency in record.depends_on:
-                level = max(level, depth[dependency] + 1)
-            depth[record.instance_id] = level
-            per_level[level] += 1
-        return max(per_level.values()) if per_level else 0
+            for position in range(dep_offsets[index], dep_offsets[index + 1]):
+                dependency_level = depth[dep_targets[position]] + 1
+                if dependency_level > level:
+                    level = dependency_level
+            depth[index] = level
+            per_level[level] = per_level.get(level, 0) + 1
+            if level > longest:
+                longest = level
+        return longest, max(per_level.values())
 
 
 def merge_traces(name: str, traces: Sequence[ApplicationTrace]) -> ApplicationTrace:
@@ -183,25 +281,62 @@ def merge_traces(name: str, traces: Sequence[ApplicationTrace]) -> ApplicationTr
     to depend on the last instance of the previous one (a lightweight way to
     model program phases separated by a taskwait).
     """
-    records: List[TaskTraceRecord] = []
+    builder = ColumnBuilder()
     offset = 0
-    previous_last: int | None = None
+    previous_last: Optional[int] = None
     for trace in traces:
-        for record in trace.records:
-            depends = tuple(dep + offset for dep in record.depends_on)
+        columns = trace.columns
+        count = columns.num_records
+        type_names = columns.types.names
+        type_ids = columns.task_type_id.tolist()
+        instructions = columns.instructions.tolist()
+        dep_offsets = columns.dep_offsets.tolist()
+        dep_targets = columns.dep_targets.tolist()
+        block_offsets = columns.block_offsets.tolist()
+        block_instr = columns.block_instructions.tolist()
+        event_offsets = columns.event_offsets.tolist()
+        for index in range(count):
+            depends = tuple(
+                dep + offset
+                for dep in dep_targets[dep_offsets[index] : dep_offsets[index + 1]]
+            )
             if previous_last is not None and not depends:
                 depends = (previous_last,)
-            records.append(
-                TaskTraceRecord(
-                    instance_id=record.instance_id + offset,
-                    task_type=record.task_type,
-                    instructions=record.instructions,
-                    blocks=list(record.blocks),
-                    depends_on=depends,
-                    creation_order=record.instance_id + offset,
-                )
+            blocks = []
+            for block in range(block_offsets[index], block_offsets[index + 1]):
+                start, stop = event_offsets[block], event_offsets[block + 1]
+                blocks.append((block_instr[block], _EventSlice(columns, start, stop)))
+            builder.add_prepared(
+                task_type=type_names[type_ids[index]],
+                instructions=instructions[index],
+                blocks=blocks,
+                depends_on=depends,
+                creation_order=index + offset,
             )
-        if trace.records:
-            previous_last = trace.records[-1].instance_id + offset
-        offset += len(trace.records)
-    return ApplicationTrace(name=name, records=records)
+        if count:
+            previous_last = count - 1 + offset
+        offset += count
+    return ApplicationTrace(name=name, columns=builder.build())
+
+
+class _EventSlice:
+    """Zero-copy event range used when merging columnar traces."""
+
+    __slots__ = ("_columns", "_start", "_stop")
+
+    def __init__(self, columns: TraceColumns, start: int, stop: int) -> None:
+        self._columns = columns
+        self._start = start
+        self._stop = stop
+
+    def __iter__(self):
+        from repro.trace.records import MemoryEvent
+
+        columns = self._columns
+        for position in range(self._start, self._stop):
+            yield MemoryEvent(
+                address=int(columns.event_address[position]),
+                is_write=bool(columns.event_is_write[position]),
+                weight=int(columns.event_weight[position]),
+                shared=bool(columns.event_shared[position]),
+            )

@@ -8,7 +8,13 @@ arbitrary scale.
 Scaling: ``generate(scale=1.0)`` produces the paper's instance count;
 smaller scales shrink the instance count proportionally (never below
 ``min_instances``) so the complete evaluation grid runs in minutes in pure
-Python.  Instruction counts per instance are already scaled down relative to
+Python.
+
+Generators emit through :class:`~repro.trace.generator.TraceBuilder`
+straight into the columnar trace backbone (:mod:`repro.trace.columns`): no
+``TaskTraceRecord`` objects are allocated during generation, and the
+resulting :class:`~repro.trace.trace.ApplicationTrace` carries NumPy columns
+as its source of truth.  Instruction counts per instance are already scaled down relative to
 the native benchmarks (the sampling methodology is insensitive to the
 absolute magnitude — only the per-type IPC and the relative instance sizes
 matter).
