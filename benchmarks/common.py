@@ -6,7 +6,7 @@ directory.  They all build on the helpers here:
 * experiment parameters come from environment variables so the whole suite
   can be scaled up or down without editing code
   (``REPRO_BENCH_SCALE``, ``REPRO_BENCH_SEED``, ``REPRO_BENCH_THREADS_*``,
-  ``REPRO_BENCH_JOBS``, ``REPRO_BENCH_CACHE_DIR``),
+  ``REPRO_BENCH_JOBS``, ``REPRO_BENCH_BACKEND``, ``REPRO_BENCH_CACHE_DIR``),
 * every experiment goes through the :mod:`repro.exp` orchestrator via the
   session-scoped :class:`ExperimentHarness`: detailed baselines are
   deduplicated and shared between figures (Figure 7 and Figure 9 use the same
@@ -38,7 +38,7 @@ from repro.exp import (
     MemoryResultStore,
     ResultStore,
     get_trace,
-    make_backend,
+    make_named_backend,
     run_experiments,
 )
 from repro.trace.trace import ApplicationTrace
@@ -63,6 +63,16 @@ def bench_seed() -> int:
 def bench_jobs() -> int:
     """Worker processes per grid (1 = serial).  Override with REPRO_BENCH_JOBS."""
     return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def bench_backend_name() -> str:
+    """Execution backend name (auto/serial/pool/async).
+
+    ``REPRO_BENCH_BACKEND=async`` runs every grid on the distributed
+    asyncio-worker backend; the default ``auto`` keeps the historical
+    semantics (a process pool when ``REPRO_BENCH_JOBS`` > 1, else serial).
+    """
+    return os.environ.get("REPRO_BENCH_BACKEND", "auto")
 
 
 def thread_counts(kind: str) -> List[int]:
@@ -103,9 +113,10 @@ def write_result(name: str, text: str) -> Path:
 class ExperimentHarness:
     """Session-wide front-end to the experiment orchestrator.
 
-    The harness owns one execution backend (serial, or a process pool when
-    ``REPRO_BENCH_JOBS`` > 1) and one result store shared by every figure of
-    the session — an in-memory store by default, or the persistent on-disk
+    The harness owns one execution backend (serial, a process pool when
+    ``REPRO_BENCH_JOBS`` > 1, or the distributed async-worker backend when
+    ``REPRO_BENCH_BACKEND=async``) and one result store shared by every
+    figure of the session — an in-memory store by default, or the persistent on-disk
     store when ``REPRO_BENCH_CACHE_DIR`` is set.  All experiment execution
     goes through :func:`repro.exp.run_experiments`; the harness itself holds
     no caches and runs no loops.
@@ -116,12 +127,17 @@ class ExperimentHarness:
         backend: Optional[ExecutionBackend] = None,
         store=None,
     ) -> None:
-        self.backend = backend if backend is not None else make_backend(bench_jobs())
         if store is not None:
             self.store = store
         else:
             cache_dir = os.environ.get("REPRO_BENCH_CACHE_DIR")
             self.store = ResultStore(cache_dir) if cache_dir else MemoryResultStore()
+        if backend is not None:
+            self.backend = backend
+        else:
+            self.backend = make_named_backend(
+                bench_backend_name(), workers=bench_jobs(), store=self.store
+            )
 
     # ------------------------------------------------------------------
     def spec(

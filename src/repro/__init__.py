@@ -15,8 +15,9 @@ The library is organised in layers, from the substrate upwards:
 * :mod:`repro.core` — TaskPoint itself: sample histories, warm-up, sampling
   policies, accurate fast-forwarding and the sampling controller,
 * :mod:`repro.exp` — the experiment orchestration layer: hashable
-  experiment specs, serial/process-pool execution backends and the
-  persistent result store every evaluation runs on,
+  experiment specs, serial/process-pool/distributed-async execution
+  backends and the persistent sharded result store every evaluation
+  runs on,
 * :mod:`repro.analysis` — IPC-variation analysis, accuracy/speedup metrics,
   parameter sweeps and the experiment drivers behind every figure and table.
 
@@ -38,6 +39,8 @@ from repro.core.api import compare_with_detailed, sampled_simulation
 from repro.core.config import TaskPointConfig, lazy_config, periodic_config
 from repro.core.controller import TaskPointController
 from repro.exp import (
+    AsyncWorkerBackend,
+    ExperimentFailure,
     ExperimentResult,
     ExperimentSpec,
     ProcessPoolBackend,
@@ -62,8 +65,10 @@ __all__ = [
     "TaskPointController",
     "ExperimentSpec",
     "ExperimentResult",
+    "ExperimentFailure",
     "SerialBackend",
     "ProcessPoolBackend",
+    "AsyncWorkerBackend",
     "ResultStore",
     "run_experiments",
     "TaskSimSimulator",

@@ -111,6 +111,7 @@ def evaluate_specs(
     specs: Sequence[ExperimentSpec],
     backend: Optional[ExecutionBackend] = None,
     store: Optional[Store] = None,
+    on_error: str = "raise",
 ) -> List[AccuracyResult]:
     """Evaluate sampled experiment specs against their detailed baselines.
 
@@ -118,7 +119,14 @@ def evaluate_specs(
     derived automatically and the whole set — sampled runs plus deduplicated
     baselines — is submitted to the orchestrator in one batch, so arbitrary
     grids (multi-architecture, multi-scheduler, multi-seed) are a one-liner.
+
+    ``on_error="skip"`` drops the rows whose sampled run or baseline failed
+    (the failures are still recorded in the store by the orchestrator)
+    instead of raising, so one broken workload does not take down a whole
+    figure.
     """
+    if on_error not in ("raise", "skip"):
+        raise ValueError("on_error must be 'raise' or 'skip'")
     submitted: List[ExperimentSpec] = []
     for spec in specs:
         if spec.is_detailed:
@@ -128,10 +136,16 @@ def evaluate_specs(
             )
         submitted.append(spec)
         submitted.append(spec.baseline())
-    results = run_experiments(submitted, backend=backend, store=store)
+    results = run_experiments(
+        submitted,
+        backend=backend,
+        store=store,
+        on_error="raise" if on_error == "raise" else "record",
+    )
     return [
         accuracy_from_experiments(results[index], results[index + 1])
         for index in range(0, len(results), 2)
+        if results[index] is not None and results[index + 1] is not None
     ]
 
 

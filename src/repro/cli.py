@@ -14,10 +14,13 @@ The CLI exposes the most common workflows without writing any Python:
   (the Figure 1 / Figure 5 analysis) of one benchmark.
 
 The experiment-driven commands (``compare``, ``grid``, ``sweep``) accept
-``--jobs N`` to shard their experiments over an N-process pool and
-``--cache-dir DIR`` to persist every result on disk, keyed by experiment
-content hash — re-running an unchanged grid is then a pure cache hit.
-``$REPRO_CACHE_DIR`` provides a default cache directory.
+``--jobs N`` to shard their experiments over an N-process pool,
+``--backend {auto,serial,pool,async} --workers N`` to pick the execution
+backend explicitly (``async`` is the distributed asyncio supervisor over
+``repro.exp.worker`` subprocesses, with heartbeats and retry on worker
+death), and ``--cache-dir DIR`` to persist every result on disk, keyed by
+experiment content hash — re-running an unchanged grid is then a pure cache
+hit.  ``$REPRO_CACHE_DIR`` provides a default cache directory.
 """
 
 from __future__ import annotations
@@ -34,10 +37,12 @@ from repro.arch.config import high_performance_config, low_power_config
 from repro.core.api import sampled_simulation
 from repro.core.config import TaskPointConfig
 from repro.exp import (
+    BACKEND_NAMES,
+    ExperimentExecutionError,
     ExperimentSpec,
     ResultStore,
     default_store,
-    make_backend,
+    make_named_backend,
     run_experiments,
 )
 from repro.sim.simulator import simulate
@@ -72,8 +77,14 @@ def _benchmark_list(raw: str) -> List[str]:
 
 
 def _backend_and_store(args: argparse.Namespace):
-    backend = make_backend(args.jobs)
     store = ResultStore(args.cache_dir) if args.cache_dir else default_store()
+    if args.workers is not None and args.backend not in ("pool", "async"):
+        raise ValueError(
+            "--workers requires --backend pool or async "
+            "(parallelism under --backend auto is controlled by --jobs)"
+        )
+    workers = args.workers if args.workers is not None else args.jobs
+    backend = make_named_backend(args.backend, workers=workers, store=store)
     return backend, store
 
 
@@ -97,6 +108,13 @@ def _add_taskpoint_arguments(parser: argparse.ArgumentParser) -> None:
 def _add_orchestrator_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=1,
                         help="parallel worker processes (default 1 = serial)")
+    parser.add_argument("--backend", choices=list(BACKEND_NAMES), default="auto",
+                        help="execution backend (default: auto — a process "
+                             "pool when --jobs > 1, serial otherwise; 'async' "
+                             "is the distributed asyncio worker backend)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker count, only valid with --backend "
+                             "pool/async (default: --jobs)")
     parser.add_argument("--cache-dir", default=None,
                         help="persistent experiment result store "
                              "(default: $REPRO_CACHE_DIR if set)")
@@ -303,9 +321,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_sweep(args)
         if args.command == "variation":
             return _command_variation(args)
-    except KeyError as error:
+    except (KeyError, ValueError, ExperimentExecutionError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # The async backend shuts its workers down gracefully on ^C, and a
+        # cache-dir store already holds every completed experiment.
+        print("interrupted", file=sys.stderr)
+        return 130
     return 1
 
 

@@ -7,17 +7,25 @@ under one sampling configuration.  This package is the single substrate that
 describes, schedules, executes and caches those experiments:
 
 * :mod:`repro.exp.spec` — :class:`ExperimentSpec`, a frozen, hashable,
-  JSON-serialisable experiment descriptor with a stable content key, and
-  :class:`ExperimentResult`, its serialisable outcome,
+  JSON-serialisable experiment descriptor with a stable content key,
+  :class:`ExperimentResult`, its serialisable outcome, and
+  :class:`ExperimentFailure`, the serialisable record of a spec that raised,
 * :mod:`repro.exp.backends` — pluggable execution backends
   (:class:`SerialBackend`, :class:`ProcessPoolBackend`) and the
-  :func:`run_experiments` driver with automatic baseline deduplication,
+  :func:`run_experiments` driver with automatic baseline deduplication and
+  per-spec failure isolation,
+* :mod:`repro.exp.distributed` — :class:`AsyncWorkerBackend`, an asyncio
+  supervisor dispatching specs to ``repro.exp.worker`` subprocesses over a
+  length-prefixed JSON frame protocol (:mod:`repro.exp.protocol`), with
+  heartbeats, bounded retry/requeue on worker death and graceful
+  cancellation,
 * :mod:`repro.exp.store` — the persistent on-disk :class:`ResultStore`
-  (keyed by spec content hash) and its in-memory sibling.
+  (content-hash keyed, shard-per-key-prefix, advisory file locking for
+  concurrent multi-process writers) and its in-memory sibling.
 
 Typical use::
 
-    from repro.exp import ExperimentSpec, ProcessPoolBackend, ResultStore, run_experiments
+    from repro.exp import AsyncWorkerBackend, ExperimentSpec, ResultStore, run_experiments
     from repro.core.config import lazy_config
 
     specs = [
@@ -27,20 +35,24 @@ Typical use::
     specs += [spec.baseline() for spec in specs]       # shared detailed runs
     results = run_experiments(
         specs,
-        backend=ProcessPoolBackend(max_workers=4),
+        backend=AsyncWorkerBackend(num_workers=4),
         store=ResultStore("~/.cache/repro"),
     )
 """
 
 from repro.exp.backends import (
+    BACKEND_NAMES,
     ExecutionBackend,
+    ExperimentExecutionError,
     ProcessPoolBackend,
     SerialBackend,
     make_backend,
+    make_named_backend,
     run_experiments,
 )
+from repro.exp.distributed import AsyncWorkerBackend
 from repro.exp.runner import get_trace, run_spec
-from repro.exp.spec import ExperimentResult, ExperimentSpec
+from repro.exp.spec import ExperimentFailure, ExperimentResult, ExperimentSpec
 from repro.exp.store import (
     CACHE_DIR_ENV,
     MemoryResultStore,
@@ -51,10 +63,15 @@ from repro.exp.store import (
 __all__ = [
     "ExperimentSpec",
     "ExperimentResult",
+    "ExperimentFailure",
+    "ExperimentExecutionError",
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "AsyncWorkerBackend",
+    "BACKEND_NAMES",
     "make_backend",
+    "make_named_backend",
     "run_experiments",
     "run_spec",
     "get_trace",

@@ -7,18 +7,92 @@ by content key (so the detailed baselines a grid shares are simulated exactly
 once no matter how many sampled experiments reference them), satisfies what
 it can from an optional result store, dispatches only the misses to the
 backend, persists the fresh results and returns them in submission order.
+
+Failure isolation: a spec whose workload raises does not poison its batch.
+Every backend runs the remaining specs to completion and reports the broken
+one as an :class:`~repro.exp.spec.ExperimentFailure`; ``run_experiments``
+records failures in the store (as ``<key>.error.json`` diagnostics) and then
+either raises one aggregated :class:`ExperimentExecutionError` (default) or,
+with ``on_error="record"``, returns ``None`` at the failed positions.
+
+Three backends ship with the repository:
+
+* :class:`SerialBackend` — in-process, one spec after another,
+* :class:`ProcessPoolBackend` — ``concurrent.futures`` process pool,
+* :class:`~repro.exp.distributed.AsyncWorkerBackend` — asyncio supervisor
+  over worker subprocesses speaking the length-prefixed JSON protocol, with
+  heartbeats, retry/requeue on worker death and graceful cancellation.
+
+All three are result-identical: the same spec grid produces bit-identical
+results (and byte-identical store entries) regardless of the backend, worker
+count or completion order.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Protocol, Sequence, Union
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Union
 
 from repro.exp.runner import run_spec
-from repro.exp.spec import ExperimentResult, ExperimentSpec
+from repro.exp.spec import ExperimentFailure, ExperimentResult, ExperimentSpec
 from repro.exp.store import MemoryResultStore, ResultStore
 
 Store = Union[ResultStore, MemoryResultStore]
+
+#: What a backend produces per spec: a result, or a failure record.
+Outcome = Union[ExperimentResult, ExperimentFailure]
+
+#: Backend names accepted by :func:`make_named_backend` and the CLI.
+BACKEND_NAMES = ("auto", "serial", "pool", "async")
+
+
+class ExperimentExecutionError(RuntimeError):
+    """One or more specs of a batch failed (after the rest completed)."""
+
+    def __init__(self, failures: Sequence[ExperimentFailure]) -> None:
+        self.failures = list(failures)
+        lines = [failure.describe() for failure in self.failures[:5]]
+        if len(self.failures) > 5:
+            lines.append(f"... and {len(self.failures) - 5} more")
+        super().__init__(
+            f"{len(self.failures)} experiment(s) failed:\n  " + "\n  ".join(lines)
+        )
+
+
+def run_spec_outcome(spec: ExperimentSpec) -> Outcome:
+    """Execute one spec, condensing any exception into a failure record.
+
+    Module-level so process-pool workers can pickle it by reference.
+    """
+    try:
+        return run_spec(spec)
+    except Exception as error:
+        return ExperimentFailure.from_exception(spec.content_key(), error)
+
+
+def _raise_on_failure(outcomes: Sequence[Outcome]) -> List[ExperimentResult]:
+    failures = [o for o in outcomes if isinstance(o, ExperimentFailure)]
+    if failures:
+        raise ExperimentExecutionError(failures)
+    return list(outcomes)
+
+
+def map_unique(
+    specs: Sequence[ExperimentSpec],
+    runner: "Callable[[List[ExperimentSpec]], Sequence[Outcome]]",
+) -> List[Outcome]:
+    """Run ``runner`` over the unique specs, remapped to submission positions.
+
+    The defensive dedup shared by the parallel backends: run_experiments
+    already submits unique specs, but a directly-driven backend must still
+    simulate shared baselines once.
+    """
+    unique: Dict[str, ExperimentSpec] = {}
+    for spec in specs:
+        unique.setdefault(spec.content_key(), spec)
+    outcomes = runner(list(unique.values()))
+    by_key = dict(zip(unique.keys(), outcomes))
+    return [by_key[spec.content_key()] for spec in specs]
 
 
 class ExecutionBackend(Protocol):
@@ -32,8 +106,12 @@ class ExecutionBackend(Protocol):
 class SerialBackend:
     """Runs every experiment in the calling process, one after another."""
 
+    def run_outcomes(self, specs: Sequence[ExperimentSpec]) -> List[Outcome]:
+        """Per-spec outcomes; a raising spec does not stop the batch."""
+        return [run_spec_outcome(spec) for spec in specs]
+
     def run(self, specs: Sequence[ExperimentSpec]) -> List[ExperimentResult]:
-        return [run_spec(spec) for spec in specs]
+        return _raise_on_failure(self.run_outcomes(specs))
 
 
 class ProcessPoolBackend:
@@ -63,20 +141,22 @@ class ProcessPoolBackend:
         self.max_workers = max_workers
         self.chunksize = chunksize
 
-    def run(self, specs: Sequence[ExperimentSpec]) -> List[ExperimentResult]:
+    def run_outcomes(self, specs: Sequence[ExperimentSpec]) -> List[Outcome]:
+        """Per-spec outcomes; a raising spec does not poison the pool batch."""
         if not specs:
             return []
-        # Defensive dedup: run_experiments already submits unique specs, but
-        # a directly-driven backend must still simulate shared baselines once.
-        unique: Dict[str, ExperimentSpec] = {}
-        for spec in specs:
-            unique.setdefault(spec.content_key(), spec)
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            results = list(
-                pool.map(run_spec, list(unique.values()), chunksize=self.chunksize)
-            )
-        by_key = dict(zip(unique.keys(), results))
-        return [by_key[spec.content_key()] for spec in specs]
+
+        def runner(unique_specs: List[ExperimentSpec]) -> List[Outcome]:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                return list(
+                    pool.map(run_spec_outcome, unique_specs,
+                             chunksize=self.chunksize)
+                )
+
+        return map_unique(specs, runner)
+
+    def run(self, specs: Sequence[ExperimentSpec]) -> List[ExperimentResult]:
+        return _raise_on_failure(self.run_outcomes(specs))
 
 
 def make_backend(jobs: Optional[int]) -> ExecutionBackend:
@@ -86,11 +166,53 @@ def make_backend(jobs: Optional[int]) -> ExecutionBackend:
     return ProcessPoolBackend(max_workers=jobs)
 
 
+def make_named_backend(
+    name: str,
+    workers: Optional[int] = None,
+    store: Optional[Store] = None,
+) -> ExecutionBackend:
+    """Backend selected by name: ``auto``, ``serial``, ``pool`` or ``async``.
+
+    ``auto`` preserves the historical ``--jobs`` semantics (a pool when
+    ``workers`` > 1, serial otherwise).  ``async`` builds an
+    :class:`~repro.exp.distributed.AsyncWorkerBackend`; when ``store`` is an
+    on-disk :class:`ResultStore` it is attached so completed experiments are
+    streamed into it as they finish (and survive a cancelled run).
+    """
+    if name == "auto":
+        return make_backend(workers)
+    if name == "serial":
+        return SerialBackend()
+    if name == "pool":
+        return ProcessPoolBackend(max_workers=workers)
+    if name == "async":
+        from repro.exp.distributed import AsyncWorkerBackend
+
+        streaming = store if isinstance(store, ResultStore) else None
+        # None defaults to 2; anything else (including 0) goes through the
+        # backend's own validation instead of being silently reinterpreted.
+        return AsyncWorkerBackend(
+            num_workers=2 if workers is None else workers, store=streaming
+        )
+    raise ValueError(f"unknown backend {name!r} (choose from {BACKEND_NAMES})")
+
+
+def _backend_outcomes(
+    backend: ExecutionBackend, specs: Sequence[ExperimentSpec]
+) -> List[Outcome]:
+    """Run ``specs``, preferring the failure-isolating ``run_outcomes`` hook."""
+    run_outcomes = getattr(backend, "run_outcomes", None)
+    if run_outcomes is not None:
+        return run_outcomes(specs)
+    return list(backend.run(specs))
+
+
 def run_experiments(
     specs: Sequence[ExperimentSpec],
     backend: Optional[ExecutionBackend] = None,
     store: Optional[Store] = None,
-) -> List[ExperimentResult]:
+    on_error: str = "raise",
+) -> List[Optional[ExperimentResult]]:
     """Execute ``specs`` and return their results in submission order.
 
     Parameters
@@ -102,15 +224,24 @@ def run_experiments(
         Execution backend; defaults to :class:`SerialBackend`.
     store:
         Optional result store consulted before execution and updated after;
-        a warm store turns an unchanged grid into a pure cache hit.
+        a warm store turns an unchanged grid into a pure cache hit.  Failed
+        specs are recorded as ``<key>.error.json`` diagnostics (never served
+        as cached results, so a re-run retries them).
+    on_error:
+        ``"raise"`` (default) raises one :class:`ExperimentExecutionError`
+        aggregating every failure — after all other specs completed and were
+        persisted.  ``"record"`` returns ``None`` at the failed positions
+        instead.
     """
+    if on_error not in ("raise", "record"):
+        raise ValueError("on_error must be 'raise' or 'record'")
     backend = backend if backend is not None else SerialBackend()
     keys = [spec.content_key() for spec in specs]
     unique: Dict[str, ExperimentSpec] = {}
     for spec, key in zip(specs, keys):
         unique.setdefault(key, spec)
 
-    results: Dict[str, ExperimentResult] = {}
+    results: Dict[str, Optional[ExperimentResult]] = {}
     missing: List[ExperimentSpec] = []
     for key, spec in unique.items():
         cached = store.get(spec) if store is not None else None
@@ -119,12 +250,29 @@ def run_experiments(
         else:
             missing.append(spec)
 
+    failures: List[ExperimentFailure] = []
     if missing:
-        fresh = backend.run(missing)
-        for spec, result in zip(missing, fresh):
+        outcomes = _backend_outcomes(backend, missing)
+        # A backend with this store attached (e.g. a streaming
+        # AsyncWorkerBackend) already persisted each outcome on completion;
+        # put_if_absent then only pays a validation read instead of
+        # re-serialising and rewriting every entry.
+        streamed = getattr(backend, "store", None) is store and store is not None
+        for spec, outcome in zip(missing, outcomes):
             key = spec.content_key()
-            results[key] = result
-            if store is not None:
-                store.put(spec, result)
+            if isinstance(outcome, ExperimentFailure):
+                failures.append(outcome)
+                results[key] = None
+                if store is not None and not streamed:
+                    store.record_failure(spec, outcome)
+            else:
+                results[key] = outcome
+                if store is not None:
+                    if streamed:
+                        store.put_if_absent(spec, outcome)
+                    else:
+                        store.put(spec, outcome)
 
+    if failures and on_error == "raise":
+        raise ExperimentExecutionError(failures)
     return [results[key] for key in keys]

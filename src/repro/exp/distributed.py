@@ -1,0 +1,547 @@
+"""Distributed async execution backend for the experiment orchestrator.
+
+:class:`AsyncWorkerBackend` dispatches :class:`~repro.exp.spec.ExperimentSpec`
+batches over an asyncio work queue to ``repro.exp.worker`` subprocesses
+speaking the length-prefixed JSON protocol of :mod:`repro.exp.protocol` over
+their stdin/stdout pipes.  Because the worker entrypoint is
+transport-agnostic (the same frames flow over pipes or sockets), the
+supervisor written here is the local half of a future multi-host deployment:
+pointing a worker at ``ssh host python -m repro.exp.worker`` changes the
+transport, not the protocol.
+
+Fault model
+-----------
+* **Poison specs** — a spec that raises inside the worker comes back as an
+  ``error`` frame; the worker stays alive, the failure is recorded as an
+  :class:`~repro.exp.spec.ExperimentFailure` and the queue keeps draining.
+  Deterministic failures are *not* retried.
+* **Worker death** — a worker that exits or is killed mid-job has its job
+  requeued (``max_retries`` times, then recorded as a failure) and the slot
+  respawns a fresh worker.  A slot whose workers die repeatedly without ever
+  completing a job gives up; when every slot has given up the remaining jobs
+  are failed instead of waiting forever.
+* **Hung workers** — the supervisor pings every worker on a heartbeat
+  interval; the worker's reader thread pongs even while a simulation is
+  running, so a silence longer than ``heartbeat_timeout`` means the process
+  is stopped or deadlocked (not merely busy) and it is killed, which routes
+  into the worker-death path above.
+* **Cancellation** — SIGINT (or cancelling the supervising task) shuts the
+  pool down gracefully: workers are terminated and reaped, no orphan
+  processes remain, and — with a streaming ``store`` attached — every
+  experiment that finished before the interrupt is already persisted.
+
+Determinism: results are collected by job index and returned in submission
+order, and the workers funnel through the same
+:func:`~repro.exp.runner.run_spec` as every other backend, so the output is
+bit-identical to :class:`~repro.exp.backends.SerialBackend` regardless of
+worker count, scheduling or retries (see ``tests/test_exp_distributed.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.exp import protocol
+from repro.exp.backends import Outcome, Store, _raise_on_failure, map_unique
+from repro.exp.spec import ExperimentFailure, ExperimentResult, ExperimentSpec
+
+
+#: Minimum time a freshly spawned worker gets to send its ``hello`` frame
+#: before the heartbeat monitor may declare it wedged — interpreter startup
+#: plus importing the simulation stack can take seconds on a loaded host.
+_STARTUP_GRACE = 30.0
+
+
+class WorkerDied(RuntimeError):
+    """The worker process holding a job exited before answering it."""
+
+
+class _Job:
+    __slots__ = ("index", "spec", "key", "attempts")
+
+    def __init__(self, index: int, spec: ExperimentSpec, key: str) -> None:
+        self.index = index
+        self.spec = spec
+        self.key = key
+        self.attempts = 0  # completed dispatch attempts that ended in death
+
+
+class _Worker:
+    """One live worker subprocess and its supervisor-side state."""
+
+    def __init__(self, proc: "asyncio.subprocess.Process") -> None:
+        self.proc = proc
+        self.pid = proc.pid
+        self.alive = True
+        self.spawned_at = asyncio.get_running_loop().time()
+        self.last_seen = self.spawned_at
+        self.handshaked = False  # True once any frame (hello) arrived
+        self.pending: Dict[int, "asyncio.Future[Outcome]"] = {}
+        self.completed = 0
+        self.reader_task: Optional["asyncio.Task"] = None
+        self.monitor_task: Optional["asyncio.Task"] = None
+
+    async def send(self, message: Dict[str, object]) -> None:
+        stdin = self.proc.stdin
+        if stdin is None or not self.alive:
+            raise WorkerDied(f"worker {self.pid} is gone")
+        try:
+            stdin.write(protocol.encode_frame(message))
+            await stdin.drain()
+        except (OSError, ConnectionResetError, BrokenPipeError) as exc:
+            raise WorkerDied(f"worker {self.pid} pipe closed: {exc}") from exc
+
+
+class AsyncWorkerBackend:
+    """Asyncio supervisor sharding experiments over worker subprocesses.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of worker subprocesses (and of concurrent experiments).
+    max_retries:
+        How many times a job is requeued after the worker holding it died
+        before it is recorded as a failure.  Failures *reported* by a live
+        worker (the spec raised) are deterministic and never retried.
+    heartbeat_interval / heartbeat_timeout:
+        Ping cadence and the silence threshold after which a worker is
+        declared hung and killed.  The timeout defaults to four intervals.
+    spawn_retries:
+        Consecutive worker deaths (without a completed job in between) a
+        slot tolerates before giving up.
+    store:
+        Optional result store (on-disk or in-memory) that completed
+        experiments are streamed into as they finish (via
+        ``put_if_absent``, so concurrent supervisors sharing an on-disk
+        store do not rewrite each other's entries).  A cancelled run then
+        loses only the in-flight experiments.
+    worker_env:
+        Extra environment variables for the worker processes (tests use
+        this for ``PYTHONHASHSEED`` and fault injection).
+    python:
+        Interpreter to launch workers with; defaults to ``sys.executable``.
+
+    The backend is synchronous to its callers (it owns its event loop via
+    ``asyncio.run``), so it drops into :func:`repro.exp.run_experiments`
+    exactly like the serial and pool backends.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 2,
+        *,
+        max_retries: int = 2,
+        heartbeat_interval: float = 5.0,
+        heartbeat_timeout: Optional[float] = None,
+        spawn_retries: int = 2,
+        store: Optional[Store] = None,
+        worker_env: Optional[Dict[str, str]] = None,
+        python: Optional[str] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if heartbeat_timeout is not None and heartbeat_timeout <= heartbeat_interval:
+            # The monitor wakes every interval and checks staleness before
+            # pinging; a timeout at or below the interval would kill every
+            # healthy worker on its first wakeup.
+            raise ValueError("heartbeat_timeout must exceed heartbeat_interval")
+        self.num_workers = num_workers
+        self.max_retries = max_retries
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = (
+            heartbeat_timeout if heartbeat_timeout is not None
+            else 4.0 * heartbeat_interval
+        )
+        self.spawn_retries = spawn_retries
+        self.store = store
+        self.worker_env = dict(worker_env) if worker_env else {}
+        self.python = python
+        self.stats: Dict[str, int] = {}
+        self._pids: set = set()
+        self._workers: List[_Worker] = []
+
+    # ------------------------------------------------------------------
+    def active_pids(self) -> List[int]:
+        """PIDs of the currently live worker processes (for tests/monitoring)."""
+        return sorted(self._pids)
+
+    def run_outcomes(self, specs: Sequence[ExperimentSpec]) -> List[Outcome]:
+        """Per-spec outcomes; worker deaths and raising specs do not stall."""
+        if not specs:
+            return []
+
+        def runner(unique_specs: List[ExperimentSpec]) -> List[Outcome]:
+            try:
+                return asyncio.run(self._supervise(unique_specs))
+            finally:
+                self._kill_leftovers()
+
+        return map_unique(specs, runner)
+
+    def run(self, specs: Sequence[ExperimentSpec]) -> List[ExperimentResult]:
+        """Execute ``specs``; raises if any spec ultimately failed."""
+        return _raise_on_failure(self.run_outcomes(specs))
+
+    # ------------------------------------------------------------------
+    def _kill_leftovers(self) -> None:
+        """Last-resort synchronous cleanup once the event loop is gone."""
+        for pid in list(self._pids):
+            try:
+                os.kill(pid, getattr(signal, "SIGKILL", signal.SIGTERM))
+            except (OSError, ProcessLookupError):
+                pass
+            self._pids.discard(pid)
+        self._workers.clear()
+
+    def _worker_environment(self) -> Dict[str, str]:
+        env = dict(os.environ)
+        # Workers must import the same repro package as the supervisor even
+        # when it only lives on the supervisor's sys.path (src checkouts).
+        import repro
+
+        package_root = str(Path(repro.__file__).resolve().parent.parent)
+        existing = env.get("PYTHONPATH")
+        if package_root not in (existing or "").split(os.pathsep):
+            env["PYTHONPATH"] = (
+                package_root + (os.pathsep + existing if existing else "")
+            )
+        env.update(self.worker_env)
+        return env
+
+    async def _spawn_worker(self) -> _Worker:
+        proc = await asyncio.create_subprocess_exec(
+            self.python or sys.executable,
+            "-m", "repro.exp.worker",
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE,
+            env=self._worker_environment(),
+        )
+        worker = _Worker(proc)
+        self.stats["spawns"] = self.stats.get("spawns", 0) + 1
+        self._pids.add(worker.pid)
+        self._workers.append(worker)
+        worker.reader_task = asyncio.ensure_future(self._read_worker(worker))
+        worker.monitor_task = asyncio.ensure_future(self._monitor_worker(worker))
+        return worker
+
+    def _release_worker(self, worker: _Worker) -> None:
+        worker.alive = False
+        self._pids.discard(worker.pid)
+        if worker in self._workers:
+            self._workers.remove(worker)
+
+    async def _read_worker(self, worker: _Worker) -> None:
+        """Parse frames from one worker until its stdout closes."""
+        loop = asyncio.get_running_loop()
+        stdout = worker.proc.stdout
+        try:
+            while True:
+                message = await protocol.read_frame_async(stdout)
+                worker.last_seen = loop.time()
+                worker.handshaked = True
+                kind = message.get("type")
+                if kind in ("result", "error"):
+                    future = worker.pending.get(message.get("job"))
+                    if future is not None and not future.done():
+                        if kind == "result":
+                            future.set_result(
+                                ExperimentResult.from_dict(message["result"])
+                            )
+                        else:
+                            future.set_result(
+                                ExperimentFailure.from_dict(message["error"])
+                            )
+                # hello/pong only refresh last_seen, handled above
+        except asyncio.CancelledError:
+            pass  # supervisor-initiated shutdown; it owns process cleanup
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            OSError,
+            protocol.ProtocolError,
+            KeyError,
+            TypeError,
+            ValueError,
+        ):
+            # Torn or malformed stream.  The process may well still be alive
+            # (e.g. something wrote to the real stdout and desynchronised the
+            # frames); kill it so a requeued job is not silently duplicated
+            # by an orphan twin.
+            try:
+                worker.proc.kill()
+            except (OSError, ProcessLookupError):
+                pass
+        finally:
+            self._release_worker(worker)
+            for future in list(worker.pending.values()):
+                if not future.done():
+                    future.set_exception(
+                        WorkerDied(f"worker {worker.pid} died mid-job")
+                    )
+
+    async def _monitor_worker(self, worker: _Worker) -> None:
+        """Heartbeat one worker; kill it when it goes silent."""
+        loop = asyncio.get_running_loop()
+        sequence = 0
+        while worker.alive:
+            await asyncio.sleep(self.heartbeat_interval)
+            if not worker.alive:
+                return
+            # Cold start (importing the simulation stack) does not count
+            # against the heartbeat; before the hello frame only the far
+            # more generous startup deadline applies.
+            if worker.handshaked:
+                silent = loop.time() - worker.last_seen > self.heartbeat_timeout
+            else:
+                silent = (
+                    loop.time() - worker.spawned_at
+                    > max(self.heartbeat_timeout, _STARTUP_GRACE)
+                )
+            if silent:
+                self.stats["heartbeat_kills"] = (
+                    self.stats.get("heartbeat_kills", 0) + 1
+                )
+                try:
+                    worker.proc.kill()
+                except (OSError, ProcessLookupError):
+                    pass
+                return  # the reader's EOF turns this into the death path
+            if not worker.handshaked:
+                continue
+            sequence += 1
+            try:
+                await worker.send({"type": "ping", "seq": sequence})
+            except WorkerDied:
+                return
+
+    async def _execute(self, worker: _Worker, job: _Job) -> Outcome:
+        """Dispatch one job to a live worker and await its answer."""
+        future: "asyncio.Future[Outcome]" = asyncio.get_running_loop().create_future()
+        worker.pending[job.index] = future
+        try:
+            await worker.send(
+                {"type": "run", "job": job.index, "spec": job.spec.to_dict()}
+            )
+            return await future
+        finally:
+            worker.pending.pop(job.index, None)
+
+    async def _worker_slot(
+        self,
+        queue: "asyncio.Queue[_Job]",
+        finish: Callable[[_Job, Outcome], None],
+    ) -> None:
+        """One dispatch loop: owns (at most) one live worker at a time."""
+        worker: Optional[_Worker] = None
+        consecutive_deaths = 0
+        while True:
+            job = await queue.get()
+            if worker is None or not worker.alive:
+                try:
+                    worker = await self._spawn_worker()
+                except (OSError, ValueError) as exc:
+                    consecutive_deaths += 1
+                    queue.put_nowait(job)  # spawn failure is not the job's fault
+                    if consecutive_deaths > self.spawn_retries:
+                        return
+                    await asyncio.sleep(0.05 * consecutive_deaths)
+                    continue
+            try:
+                outcome = await self._execute(worker, job)
+            except WorkerDied:
+                self.stats["worker_deaths"] = self.stats.get("worker_deaths", 0) + 1
+                consecutive_deaths += 1
+                worker = None
+                job.attempts += 1
+                if job.attempts > self.max_retries:
+                    finish(job, ExperimentFailure(
+                        spec_key=job.key,
+                        error_type="WorkerDied",
+                        message=(
+                            f"worker died {job.attempts} time(s) while running "
+                            f"{job.spec.label()}"
+                        ),
+                        attempts=job.attempts,
+                    ))
+                else:
+                    self.stats["requeues"] = self.stats.get("requeues", 0) + 1
+                    queue.put_nowait(job)
+                if consecutive_deaths > self.spawn_retries:
+                    return  # crash-looping; let the remaining slots (if any) work
+                continue
+            except Exception as exc:  # supervisor bug: fail the job, stay live
+                finish(job, ExperimentFailure.from_exception(job.key, exc))
+                continue
+            consecutive_deaths = 0
+            worker.completed += 1
+            if isinstance(outcome, ExperimentFailure):
+                outcome.attempts = job.attempts + 1
+            finish(job, outcome)
+
+    async def _shutdown_workers(self) -> None:
+        """Terminate and reap every live worker; tolerate cancellation."""
+        workers = list(self._workers)
+        for worker in workers:
+            worker.alive = False
+            for task in (worker.reader_task, worker.monitor_task):
+                if task is not None:
+                    task.cancel()
+            stdin = worker.proc.stdin
+            if stdin is not None:
+                try:
+                    stdin.write(protocol.encode_frame({"type": "shutdown"}))
+                    stdin.close()
+                except (OSError, RuntimeError):
+                    pass
+        for worker in workers:
+            try:
+                await asyncio.wait_for(worker.proc.wait(), timeout=2.0)
+            except BaseException:
+                try:
+                    worker.proc.kill()
+                except (OSError, ProcessLookupError):
+                    pass
+                try:
+                    await worker.proc.wait()
+                except BaseException:
+                    pass
+            self._pids.discard(worker.pid)
+        self._workers = [w for w in self._workers if w not in workers]
+
+    async def _supervise(self, specs: Sequence[ExperimentSpec]) -> List[Outcome]:
+        """Run unique ``specs`` to completion; one outcome per spec, in order."""
+        loop = asyncio.get_running_loop()
+        self.stats = {}
+        self._workers = []
+        self._pids = set()
+
+        queue: "asyncio.Queue[_Job]" = asyncio.Queue()
+        jobs = [
+            _Job(index, spec, spec.content_key())
+            for index, spec in enumerate(specs)
+        ]
+        for job in jobs:
+            queue.put_nowait(job)
+        outcomes: List[Optional[Outcome]] = [None] * len(jobs)
+        remaining = len(jobs)
+        done = asyncio.Event()
+        if not jobs:
+            done.set()
+
+        def finish(job: _Job, outcome: Outcome) -> None:
+            nonlocal remaining
+            if outcomes[job.index] is not None:
+                return  # defensive: a job finishes exactly once
+            outcomes[job.index] = outcome
+            remaining -= 1
+            self.stats["finished_jobs"] = self.stats.get("finished_jobs", 0) + 1
+            # Streaming is best-effort durability: no store problem may wedge
+            # the supervisor (done must always be reachable), and the caller
+            # still holds every outcome in memory either way.
+            if self.store is not None:
+                write_started = loop.time()
+                try:
+                    if isinstance(outcome, ExperimentFailure):
+                        self.store.record_failure(job.spec, outcome)
+                    else:
+                        self.store.put_if_absent(job.spec, outcome)
+                except Exception as exc:
+                    print(
+                        f"repro.exp.distributed: store write failed: {exc}",
+                        file=sys.stderr,
+                    )
+                write_ended = loop.time()
+                if write_ended - write_started > self.heartbeat_interval / 2:
+                    # The synchronous write (shard flock on a contended or
+                    # slow filesystem) froze the event loop: no pongs or
+                    # hellos could be read meanwhile, so restart every
+                    # staleness and startup clock rather than punish healthy
+                    # workers for our stall.
+                    for other in self._workers:
+                        other.last_seen = max(other.last_seen, write_ended)
+                        other.spawned_at = max(other.spawned_at, write_ended)
+            if remaining == 0:
+                done.set()
+
+        interrupted = False
+        shutting_down = False
+        supervise_task = asyncio.current_task()
+
+        def on_sigint() -> None:
+            nonlocal interrupted
+            interrupted = True
+            if supervise_task is not None:
+                supervise_task.cancel()
+
+        sigint_installed = False
+        try:
+            loop.add_signal_handler(signal.SIGINT, on_sigint)
+            sigint_installed = True
+        except (ValueError, NotImplementedError, RuntimeError):
+            pass  # non-main thread or platform without signal support
+
+        slot_count = min(self.num_workers, len(jobs))
+        slots = [
+            asyncio.ensure_future(self._worker_slot(queue, finish))
+            for _ in range(slot_count)
+        ]
+
+        def on_slot_done(_task: "asyncio.Task") -> None:
+            if shutting_down or done.is_set():
+                return  # cancellation, not exhaustion: leave jobs unwritten
+            if not all(task.done() for task in slots):
+                return
+            # Every slot gave up (crash-looping workers): fail what is left.
+            while not queue.empty():
+                job = queue.get_nowait()
+                if outcomes[job.index] is None:
+                    finish(job, ExperimentFailure(
+                        spec_key=job.key,
+                        error_type="WorkerPoolExhausted",
+                        message="every worker slot gave up before this spec ran",
+                        attempts=job.attempts,
+                    ))
+            done.set()
+
+        for slot in slots:
+            slot.add_done_callback(on_slot_done)
+
+        try:
+            await done.wait()
+        except asyncio.CancelledError:
+            if not interrupted:
+                raise
+        finally:
+            shutting_down = True
+            if sigint_installed:
+                loop.remove_signal_handler(signal.SIGINT)
+            for slot in slots:
+                slot.cancel()
+            for slot in slots:
+                try:
+                    await slot
+                except BaseException:
+                    pass
+            await self._shutdown_workers()
+
+        if interrupted:
+            raise KeyboardInterrupt
+        return [
+            outcome if outcome is not None else ExperimentFailure(
+                spec_key=job.key,
+                error_type="Unexecuted",
+                message="supervisor exited before this spec ran",
+                attempts=job.attempts,
+            )
+            for job, outcome in zip(jobs, outcomes)
+        ]

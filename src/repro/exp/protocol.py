@@ -1,0 +1,116 @@
+"""Length-prefixed JSON framing shared by the async supervisor and workers.
+
+The distributed backend (:mod:`repro.exp.distributed`) and the worker
+entrypoint (:mod:`repro.exp.worker`) exchange *frames*: a 4-byte big-endian
+unsigned payload length followed by a UTF-8 JSON object.  The framing is
+transport-agnostic — the same bytes flow over subprocess pipes today and can
+flow over a TCP socket or an SSH channel tomorrow, which is why the worker
+accepts ``--connect HOST PORT`` in addition to its default stdio mode.
+
+Frame types
+-----------
+Supervisor to worker:
+
+* ``{"type": "run", "job": <int>, "spec": <ExperimentSpec.to_dict()>}`` —
+  execute one experiment; exactly one ``result``/``error`` frame answers it.
+* ``{"type": "ping", "seq": <int>}`` — heartbeat probe; answered immediately
+  by the worker's reader thread even while a simulation is running.
+* ``{"type": "shutdown"}`` — finish the current job (if any) and exit.
+
+Worker to supervisor:
+
+* ``{"type": "hello", "pid": <int>, "protocol": <int>}`` — sent once on
+  startup.
+* ``{"type": "result", "job": <int>, "result": <ExperimentResult.to_dict()>}``
+* ``{"type": "error", "job": <int>, "error": <ExperimentFailure.to_dict()>}``
+  — the spec raised; the worker stays alive and takes the next job.
+* ``{"type": "pong", "seq": <int>}``
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import BinaryIO, Dict, Optional
+
+#: Protocol version announced in the ``hello`` frame.  Bump on any
+#: incompatible change to the frame vocabulary above.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a single frame payload; a frame header exceeding it means
+#: the stream is desynchronised (or hostile) and the connection is torn down.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """The byte stream does not contain a well-formed frame."""
+
+
+def encode_frame(message: Dict[str, object]) -> bytes:
+    """Serialise ``message`` to one length-prefixed frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds the maximum")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict[str, object]:
+    """Parse a frame payload back into a message dictionary."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload is not a JSON object")
+    return message
+
+
+def _read_exactly(stream: BinaryIO, count: int) -> Optional[bytes]:
+    """Read ``count`` bytes; ``None`` on clean EOF, error on a torn frame."""
+    chunks = []
+    missing = count
+    while missing:
+        chunk = stream.read(missing)
+        if not chunk:
+            if missing == count and not chunks:
+                return None
+            raise ProtocolError("stream closed mid-frame")
+        chunks.append(chunk)
+        missing -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(stream: BinaryIO) -> Optional[Dict[str, object]]:
+    """Read one frame from a blocking binary stream; ``None`` at EOF."""
+    header = _read_exactly(stream, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame header announces {length} bytes")
+    payload = _read_exactly(stream, length)
+    if payload is None:
+        raise ProtocolError("stream closed between header and payload")
+    return decode_payload(payload)
+
+
+def write_frame(stream: BinaryIO, message: Dict[str, object]) -> None:
+    """Write one frame to a blocking binary stream and flush it."""
+    stream.write(encode_frame(message))
+    stream.flush()
+
+
+async def read_frame_async(stream) -> Dict[str, object]:
+    """Read one frame from an ``asyncio.StreamReader``.
+
+    Raises ``asyncio.IncompleteReadError`` at EOF and :class:`ProtocolError`
+    on a desynchronised stream, so the supervisor and the blocking
+    :func:`read_frame` share one definition of the wire format.
+    """
+    header = await stream.readexactly(_HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame header announces {length} bytes")
+    return decode_payload(await stream.readexactly(length))

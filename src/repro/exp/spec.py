@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import traceback as traceback_module
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional
 
@@ -157,10 +158,18 @@ class ExperimentSpec:
 
         Two specs have equal keys iff they describe the same experiment, so
         the key doubles as the deduplication key of the execution backends
-        and as the filename of the persistent result store.
+        and as the filename of the persistent result store.  The digest is
+        memoised on the instance (safe: the dataclass is frozen) because the
+        orchestrator and the store consult it many times per spec.
         """
-        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        cached = self.__dict__.get("_content_key")
+        if cached is None:
+            canonical = json.dumps(
+                self.to_dict(), sort_keys=True, separators=(",", ":")
+            )
+            cached = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_content_key", cached)
+        return cached
 
     def label(self) -> str:
         """Short human-readable description (for logs and progress output)."""
@@ -169,6 +178,67 @@ class ExperimentSpec:
             f"{self.benchmark}@{self.architecture.name}"
             f" x{self.num_threads} [{mode}]"
         )
+
+
+@dataclass
+class ExperimentFailure:
+    """Serialisable record of one spec that raised instead of completing.
+
+    Execution backends return a failure (rather than poisoning the whole
+    batch) when a spec's workload raises, and the distributed backend
+    additionally returns one when a worker process died repeatedly while
+    holding the spec.  Failures are recorded in the result store as
+    ``<key>.error.json`` diagnostics but never served as cached results, so a
+    re-run retries the spec.
+    """
+
+    spec_key: str
+    error_type: str
+    message: str
+    traceback: str = ""
+    attempts: int = 1
+
+    @classmethod
+    def from_exception(
+        cls, spec_key: str, error: BaseException, attempts: int = 1
+    ) -> "ExperimentFailure":
+        """Condense a caught exception into a serialisable failure record."""
+        return cls(
+            spec_key=spec_key,
+            error_type=type(error).__name__,
+            message=str(error),
+            traceback="".join(
+                traceback_module.format_exception(type(error), error, error.__traceback__)
+            ),
+            attempts=attempts,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (inverse of :meth:`from_dict`)."""
+        return {
+            "schema": SPEC_SCHEMA_VERSION,
+            "spec_key": self.spec_key,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentFailure":
+        """Rebuild a failure from :meth:`to_dict` output."""
+        return cls(
+            spec_key=data.get("spec_key", ""),
+            error_type=data.get("error_type", "Exception"),
+            message=data.get("message", ""),
+            traceback=data.get("traceback", ""),
+            attempts=data.get("attempts", 1),
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary (for error aggregation)."""
+        key = self.spec_key[:12] or "<unknown-spec>"
+        return f"{key}: {self.error_type}: {self.message} (attempts={self.attempts})"
 
 
 @dataclass
@@ -205,7 +275,16 @@ class ExperimentResult:
                 "fast_forwarded": stats.fast_forwarded,
                 "transitions_to_fast": stats.transitions_to_fast,
                 "resamples": stats.resamples,
-                "resample_reasons": dict(stats.resample_reasons),
+                # Keyed by the enum *value* (a string) and sorted: the result
+                # must round-trip through JSON — worker frames, the on-disk
+                # store — and produce canonical bytes everywhere.
+                "resample_reasons": {
+                    reason.value: count
+                    for reason, count in sorted(
+                        stats.resample_reasons.items(),
+                        key=lambda item: item[0].value,
+                    )
+                },
                 "fallback_estimates": stats.fallback_estimates,
             }
         return cls(

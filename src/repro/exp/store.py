@@ -1,11 +1,27 @@
 """Persistent and in-memory experiment result stores.
 
 The :class:`ResultStore` is an on-disk JSON cache keyed by the spec content
-key: one ``<key>.json`` file per experiment, written atomically so concurrent
-processes (e.g. the workers of two simultaneous sweeps sharing a cache
-directory) never observe half-written entries.  Re-running a figure or sweep
-with unchanged parameters is then a pure cache hit across processes and
-sessions.
+key.  Entries are sharded by the first two hex digits of the key
+(``<dir>/<ab>/<key>.json``) so a store written by many concurrent hosts never
+funnels every writer through one directory, and every write happens
+atomically (temp file + ``os.replace``) under a per-shard advisory file lock
+(``fcntl.flock``), so concurrent multi-process — and, via a shared
+filesystem, multi-host — writers cannot corrupt entries or interleave
+half-written JSON.  Re-running a figure or sweep with unchanged parameters is
+then a pure cache hit across processes and sessions.
+
+Two properties keep concurrent stores byte-identical to a serial run:
+
+* stored payloads are *normalised* — the host wall-clock time (the only
+  nondeterministic result field) is dropped before serialisation, so the same
+  spec produces the same bytes no matter which backend, process or host ran
+  it, and
+* :meth:`ResultStore.put_if_absent` lets racing writers deduplicate at the
+  store level: the first writer wins and later ones leave the entry alone.
+
+Failed specs are recorded as ``<key>.error.json`` diagnostics
+(:meth:`ResultStore.record_failure`); they are never served as cached
+results, so a re-run retries the spec instead of replaying the failure.
 
 :class:`MemoryResultStore` implements the same interface in memory; the
 benchmark harnesses use it to share detailed baselines between figures within
@@ -14,16 +30,41 @@ one pytest session without persisting anything.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterator, Optional, Union
 
-from repro.exp.spec import ExperimentResult, ExperimentSpec
+try:  # advisory locking is POSIX-only; elsewhere the store degrades to
+    import fcntl  # atomic-rename-only safety (no cross-process mutual exclusion)
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+from repro.exp.spec import ExperimentFailure, ExperimentResult, ExperimentSpec
 
 #: Environment variable selecting a default on-disk cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Number of leading hex digits of the content key used as the shard name.
+SHARD_DIGITS = 2
+
+_ERROR_SUFFIX = ".error.json"
+
+
+def _normalised_payload(spec: ExperimentSpec, result: ExperimentResult) -> str:
+    """Canonical store entry text: spec + result minus host wall-clock time.
+
+    Wall time is the only field of a result that depends on the executing
+    host rather than on the spec; dropping it makes store entries
+    byte-identical across backends, processes and machines (and
+    :meth:`ResultStore.get` never served it anyway).
+    """
+    result_dict = result.to_dict()
+    result_dict["wall_seconds"] = None
+    payload = {"spec": spec.to_dict(), "result": result_dict}
+    return json.dumps(payload, sort_keys=True, indent=1)
 
 
 class MemoryResultStore:
@@ -31,6 +72,7 @@ class MemoryResultStore:
 
     def __init__(self) -> None:
         self._results: Dict[str, ExperimentResult] = {}
+        self._failures: Dict[str, ExperimentFailure] = {}
         self.hits = 0
         self.misses = 0
 
@@ -48,11 +90,29 @@ class MemoryResultStore:
 
     def put(self, spec: ExperimentSpec, result: ExperimentResult) -> None:
         """Cache ``result`` under ``spec``'s content key."""
-        self._results[spec.content_key()] = result
+        key = spec.content_key()
+        self._results[key] = result
+        self._failures.pop(key, None)
+
+    def put_if_absent(self, spec: ExperimentSpec, result: ExperimentResult) -> bool:
+        """Cache ``result`` unless the key is present; ``True`` if written."""
+        if spec.content_key() in self._results:
+            return False
+        self.put(spec, result)
+        return True
+
+    def record_failure(self, spec: ExperimentSpec, failure: ExperimentFailure) -> None:
+        """Keep the latest failure of ``spec`` for diagnosis (never served)."""
+        self._failures[spec.content_key()] = failure
+
+    def get_failure(self, spec: ExperimentSpec) -> Optional[ExperimentFailure]:
+        """Return the recorded failure of ``spec``, or ``None``."""
+        return self._failures.get(spec.content_key())
 
     def clear(self) -> None:
-        """Drop all cached results (counters are kept)."""
+        """Drop all cached results and failures (counters are kept)."""
         self._results.clear()
+        self._failures.clear()
 
 
 class ResultStore:
@@ -62,8 +122,10 @@ class ResultStore:
     ----------
     directory:
         Cache directory; created on first write.  Every entry is a single
-        ``<content-key>.json`` file holding the spec (for provenance and
-        debugging) and the result.
+        ``<shard>/<content-key>.json`` file holding the spec (for provenance
+        and debugging) and the result, where ``<shard>`` is the first
+        :data:`SHARD_DIGITS` hex digits of the key.  Entries written by older
+        (pre-sharding) versions directly in ``directory`` are still found.
     """
 
     def __init__(self, directory: Union[str, Path]) -> None:
@@ -72,19 +134,78 @@ class ResultStore:
         self.misses = 0
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def shard(key: str) -> str:
+        """Shard (subdirectory) name of content key ``key``."""
+        return key[:SHARD_DIGITS]
+
     def _path(self, spec: ExperimentSpec) -> Path:
+        key = spec.content_key()
+        return self.directory / self.shard(key) / f"{key}.json"
+
+    def _legacy_path(self, spec: ExperimentSpec) -> Path:
         return self.directory / f"{spec.content_key()}.json"
 
-    def __len__(self) -> int:
-        if not self.directory.is_dir():
-            return 0
-        # pathlib's glob matches dotfiles, so exclude the ".tmp-*.json" files
-        # an interrupted put() may leave behind.
-        return sum(
-            1 for path in self.directory.glob("*.json")
-            if not path.name.startswith(".")
-        )
+    def _failure_path(self, spec: ExperimentSpec) -> Path:
+        key = spec.content_key()
+        return self.directory / self.shard(key) / f"{key}{_ERROR_SUFFIX}"
 
+    def _entry_files(self) -> Iterator[Path]:
+        """All result entry files, excluding temp and failure files."""
+        if not self.directory.is_dir():
+            return
+        # pathlib's glob matches dotfiles, so exclude the ".tmp-*.json" files
+        # an interrupted put() may leave behind, and the ".locks" directory.
+        for pattern in ("*.json", "[0-9a-f]" * SHARD_DIGITS + "/*.json"):
+            for path in self.directory.glob(pattern):
+                if path.name.startswith(".") or path.name.endswith(_ERROR_SUFFIX):
+                    continue
+                yield path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_files())
+
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def lock(self, key: str) -> Iterator[None]:
+        """Hold the advisory exclusive lock of ``key``'s shard.
+
+        The lock serialises writers of one shard across processes (and across
+        hosts sharing the filesystem, where the filesystem supports ``flock``
+        semantics).  Readers never take it: entries are only ever replaced
+        atomically, so a reader sees either the old or the new complete file.
+        On platforms without ``fcntl`` this is a no-op.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        lock_dir = self.directory / ".locks"
+        lock_dir.mkdir(parents=True, exist_ok=True)
+        lock_path = lock_dir / f"{self.shard(key)}.lock"
+        with open(lock_path, "w", encoding="utf-8") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def _write_atomically(self, path: Path, text: str) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
     def get(self, spec: ExperimentSpec) -> Optional[ExperimentResult]:
         """Return the stored result of ``spec``, or ``None`` on a miss.
 
@@ -97,43 +218,106 @@ class ResultStore:
         with a run timed here would produce a meaningless wall speedup.  The
         deterministic cost model is unaffected.
         """
-        path = self._path(spec)
-        try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-            result = ExperimentResult.from_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
-            return None
-        result.wall_seconds = None
-        self.hits += 1
-        return result
+        for path in (self._path(spec), self._legacy_path(spec)):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                result = ExperimentResult.from_dict(payload["result"])
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+            result.wall_seconds = None
+            self.hits += 1
+            return result
+        self.misses += 1
+        return None
 
     def put(self, spec: ExperimentSpec, result: ExperimentResult) -> None:
-        """Persist ``result`` atomically under ``spec``'s content key."""
-        self.directory.mkdir(parents=True, exist_ok=True)
-        payload = {"spec": spec.to_dict(), "result": result.to_dict()}
-        text = json.dumps(payload, sort_keys=True, indent=1)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.directory, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            os.replace(tmp_name, self._path(spec))
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        """Persist ``result`` atomically under ``spec``'s content key.
 
+        The write happens under the shard's advisory lock and a stale
+        ``<key>.error.json`` diagnostic from an earlier failed attempt is
+        removed, so the store converges to one normalised entry per spec no
+        matter how many processes retried it.
+        """
+        key = spec.content_key()
+        text = _normalised_payload(spec, result)
+        with self.lock(key):
+            self._write_atomically(self._path(spec), text)
+            self._failure_path(spec).unlink(missing_ok=True)
+            # A pre-sharding flat entry would otherwise shadow-count forever.
+            self._legacy_path(spec).unlink(missing_ok=True)
+
+    @staticmethod
+    def _entry_is_valid(path: Path) -> bool:
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            ExperimentResult.from_dict(payload["result"])
+            return True
+        except (OSError, ValueError, KeyError, TypeError):
+            return False
+
+    def put_if_absent(self, spec: ExperimentSpec, result: ExperimentResult) -> bool:
+        """Persist ``result`` unless a valid entry exists; ``True`` if written.
+
+        This is the store-level deduplication primitive for concurrent
+        writers: the check and the write happen under the shard lock, so of N
+        racing processes exactly one writes the entry.  A corrupt existing
+        entry (which :meth:`get` treats as a miss) counts as absent and is
+        replaced, so the store never wedges on a damaged file; entries in the
+        legacy flat layout count as present.
+        """
+        key = spec.content_key()
+        path = self._path(spec)
+        with self.lock(key):
+            if self._entry_is_valid(path) or self._entry_is_valid(
+                self._legacy_path(spec)
+            ):
+                return False
+            self._write_atomically(path, _normalised_payload(spec, result))
+            self._failure_path(spec).unlink(missing_ok=True)
+            self._legacy_path(spec).unlink(missing_ok=True)
+            return True
+
+    # ------------------------------------------------------------------
+    def record_failure(self, spec: ExperimentSpec, failure: ExperimentFailure) -> None:
+        """Persist a ``<key>.error.json`` diagnostic for a failed spec.
+
+        Failure records are write-only from the orchestrator's point of view:
+        :meth:`get` never serves them, so the spec is retried on the next
+        run; they exist so a crashed grid can be diagnosed post-mortem.
+        """
+        key = spec.content_key()
+        payload = {"spec": spec.to_dict(), "error": failure.to_dict()}
+        text = json.dumps(payload, sort_keys=True, indent=1)
+        with self.lock(key):
+            self._write_atomically(self._failure_path(spec), text)
+
+    def get_failure(self, spec: ExperimentSpec) -> Optional[ExperimentFailure]:
+        """Return the recorded failure of ``spec``, or ``None``."""
+        try:
+            payload = json.loads(self._failure_path(spec).read_text(encoding="utf-8"))
+            return ExperimentFailure.from_dict(payload["error"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    # ------------------------------------------------------------------
     def clear(self) -> int:
-        """Delete all cache entries; return how many were removed."""
+        """Delete all cache entries; return how many results were removed.
+
+        Failure diagnostics and leftover temp files are removed as well but
+        not counted.
+        """
         removed = 0
-        if self.directory.is_dir():
-            for path in self.directory.glob("*.json"):
+        if not self.directory.is_dir():
+            return 0
+        for pattern in ("*.json", "*/*.json"):
+            for path in self.directory.glob(pattern):
+                is_entry = (
+                    not path.name.startswith(".")
+                    and not path.name.endswith(_ERROR_SUFFIX)
+                )
                 path.unlink(missing_ok=True)
-                removed += 1
+                if is_entry:
+                    removed += 1
         return removed
 
 

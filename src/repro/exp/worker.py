@@ -1,0 +1,159 @@
+"""Experiment worker process (``python -m repro.exp.worker``).
+
+A worker speaks the length-prefixed JSON protocol of
+:mod:`repro.exp.protocol` over its stdin/stdout pipes (default) or over a TCP
+socket (``--connect HOST PORT``), which is what will let the same entrypoint
+run on a remote host behind ``ssh host python -m repro.exp.worker`` without a
+new protocol.
+
+Two threads cooperate:
+
+* the **reader thread** parses incoming frames: ``ping`` is answered with
+  ``pong`` immediately — even while a simulation is running, so supervisor
+  heartbeats measure process liveness rather than job length — while ``run``
+  jobs are handed to the main thread and ``shutdown``/EOF ends the process;
+* the **main thread** executes jobs one at a time through
+  :func:`repro.exp.runner.run_spec` (sharing its per-process trace memo, so a
+  worker that receives many specs of one benchmark generates the trace once)
+  and answers each with exactly one ``result`` or ``error`` frame.  A spec
+  that raises produces an ``error`` frame and the worker stays alive.
+
+Stray ``print`` calls anywhere in the simulation stack cannot corrupt the
+frame stream: in stdio mode ``sys.stdout`` is rebound to stderr before any
+job runs, and all frame writes go through one lock-guarded writer.
+
+Fault injection (tests only): the ``REPRO_EXP_WORKER_FAULT`` environment
+variable, formatted ``<key-prefix>:<flag-file>``, makes the worker SIGKILL
+itself the first time it receives a spec whose content key starts with the
+prefix — the flag file is created first (with ``O_EXCL``, so exactly one
+worker dies once per flag file), letting the test suite deterministically
+exercise the supervisor's requeue path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import queue
+import signal
+import socket
+import sys
+import threading
+from typing import BinaryIO, Dict, Optional, Sequence
+
+from repro.exp import protocol
+from repro.exp.runner import run_spec
+from repro.exp.spec import ExperimentFailure, ExperimentSpec
+
+#: Test-only fault hook; see the module docstring.
+FAULT_ENV = "REPRO_EXP_WORKER_FAULT"
+
+
+class _FrameWriter:
+    """Serialises frame writes from the main and reader threads."""
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    def send(self, message: Dict[str, object]) -> None:
+        with self._lock:
+            protocol.write_frame(self._stream, message)
+
+
+def _maybe_inject_fault(spec_key: str) -> None:
+    raw = os.environ.get(FAULT_ENV)
+    if not raw:
+        return
+    prefix, _, flag_file = raw.partition(":")
+    if not flag_file or not spec_key.startswith(prefix):
+        return
+    try:
+        fd = os.open(flag_file, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return  # some worker already died on this spec; run it normally
+    os.close(fd)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def serve(reader_stream: BinaryIO, writer_stream: BinaryIO) -> None:
+    """Serve the worker protocol until ``shutdown`` or EOF."""
+    out = _FrameWriter(writer_stream)
+    out.send({
+        "type": "hello",
+        "pid": os.getpid(),
+        "protocol": protocol.PROTOCOL_VERSION,
+    })
+    jobs: "queue.Queue[Optional[Dict[str, object]]]" = queue.Queue()
+
+    def read_loop() -> None:
+        while True:
+            try:
+                message = protocol.read_frame(reader_stream)
+            except (protocol.ProtocolError, OSError):
+                message = None
+            if message is None:  # EOF or torn stream: drain and exit
+                jobs.put(None)
+                return
+            kind = message.get("type")
+            if kind == "ping":
+                try:
+                    out.send({"type": "pong", "seq": message.get("seq")})
+                except OSError:
+                    jobs.put(None)
+                    return
+            elif kind == "run":
+                jobs.put(message)
+            elif kind == "shutdown":
+                jobs.put(None)
+                return
+            # unknown frame types are ignored (forward compatibility)
+
+    threading.Thread(target=read_loop, daemon=True).start()
+    while True:
+        job = jobs.get()
+        if job is None:
+            return
+        job_id = job.get("job")
+        spec_key = ""
+        try:
+            spec = ExperimentSpec.from_dict(job["spec"])
+            spec_key = spec.content_key()
+            _maybe_inject_fault(spec_key)
+            result = run_spec(spec)
+            out.send({"type": "result", "job": job_id, "result": result.to_dict()})
+        except Exception as error:
+            failure = ExperimentFailure.from_exception(spec_key, error)
+            out.send({"type": "error", "job": job_id, "error": failure.to_dict()})
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Worker entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro.exp.worker",
+        description="experiment worker speaking the repro.exp frame protocol",
+    )
+    parser.add_argument(
+        "--connect", nargs=2, metavar=("HOST", "PORT"), default=None,
+        help="connect to a supervisor socket instead of using stdin/stdout",
+    )
+    args = parser.parse_args(argv)
+
+    if args.connect is not None:
+        host, port = args.connect
+        with socket.create_connection((host, int(port))) as connection:
+            with connection.makefile("rb") as reader_stream, \
+                    connection.makefile("wb") as writer_stream:
+                serve(reader_stream, writer_stream)
+        return 0
+
+    reader_stream = sys.stdin.buffer
+    writer_stream = sys.stdout.buffer
+    # Frames own the real stdout; reroute stray prints to stderr.
+    sys.stdout = sys.stderr
+    serve(reader_stream, writer_stream)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised in subprocesses
+    sys.exit(main())

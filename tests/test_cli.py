@@ -74,3 +74,13 @@ class TestCommands:
     def test_unknown_benchmark_exit_code(self, capsys):
         assert main(["compare", "not-a-benchmark", "--scale", "0.01"]) == 2
         assert "error" in capsys.readouterr().err
+
+    def test_workers_requires_explicit_backend(self, capsys):
+        # --workers under the default auto backend is rejected instead of
+        # silently overriding --jobs.
+        code = main([
+            "compare", "swaptions", "--scale", "0.004", "--threads", "2",
+            "--policy", "lazy", "--workers", "4",
+        ])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err

@@ -12,6 +12,8 @@ from repro.analysis.sweep import warmup_sweep
 from repro.arch.config import high_performance_config, low_power_config
 from repro.core.config import TaskPointConfig, lazy_config, periodic_config
 from repro.exp import (
+    ExperimentExecutionError,
+    ExperimentFailure,
     ExperimentResult,
     ExperimentSpec,
     MemoryResultStore,
@@ -149,6 +151,22 @@ class TestRunSpec:
         restored = ExperimentResult.from_dict(payload)
         assert restored == result
 
+    def test_resampling_result_json_round_trip(self):
+        # Regression: resample_reasons used to be keyed by ResampleReason
+        # enum members, which json.dumps rejects — so any resampling run
+        # crashed the store and the worker wire format.
+        config = TaskPointConfig(warmup_instances=1, history_size=2,
+                                 sampling_period=5)
+        result = run_spec(small_spec(benchmark="cholesky", config=config))
+        assert result.resamples > 0, "config was meant to force resampling"
+        payload = json.loads(json.dumps(result.to_dict()))
+        restored = ExperimentResult.from_dict(payload)
+        assert restored == result
+        assert all(
+            isinstance(reason, str)
+            for reason in restored.taskpoint["resample_reasons"]
+        )
+
     def test_matches_direct_comparison(self):
         """run_spec pairs reproduce compare_with_detailed exactly."""
         trace = get_workload("swaptions").generate(scale=SCALE, seed=1)
@@ -206,6 +224,76 @@ class TestBackendEquivalence:
             ProcessPoolBackend(chunksize=0)
 
 
+class TestFailureIsolation:
+    """A raising spec is reported per-spec; the rest of the batch finishes.
+
+    Regression for the latent ProcessPoolBackend gap: a spec whose workload
+    raised used to propagate out of ``pool.map`` and poison the whole batch.
+    """
+
+    def poison(self):
+        return small_spec(benchmark="no-such-benchmark")
+
+    def batch(self):
+        good = small_spec()
+        return [good, self.poison(), good.baseline()]
+
+    @pytest.mark.parametrize("make_backend_under_test", [
+        SerialBackend,
+        lambda: ProcessPoolBackend(max_workers=2),
+    ], ids=["serial", "pool"])
+    def test_remaining_specs_finish(self, make_backend_under_test):
+        backend = make_backend_under_test()
+        outcomes = backend.run_outcomes(self.batch())
+        assert isinstance(outcomes[0], ExperimentResult)
+        assert isinstance(outcomes[1], ExperimentFailure)
+        assert isinstance(outcomes[2], ExperimentResult)
+        assert outcomes[1].error_type == "KeyError"
+        assert outcomes[1].spec_key == self.poison().content_key()
+        assert "no-such-benchmark" in outcomes[1].message
+        assert outcomes[1].traceback  # the full traceback is preserved
+
+    @pytest.mark.parametrize("make_backend_under_test", [
+        SerialBackend,
+        lambda: ProcessPoolBackend(max_workers=2),
+    ], ids=["serial", "pool"])
+    def test_run_raises_aggregate_after_completion(self, make_backend_under_test):
+        with pytest.raises(ExperimentExecutionError) as excinfo:
+            make_backend_under_test().run(self.batch())
+        assert len(excinfo.value.failures) == 1
+        assert "no-such-benchmark" in str(excinfo.value)
+
+    def test_run_experiments_records_failures_in_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        specs = self.batch()
+        results = run_experiments(
+            specs, backend=ProcessPoolBackend(max_workers=2), store=store,
+            on_error="record",
+        )
+        assert results[1] is None
+        assert results[0] is not None and results[2] is not None
+        assert len(store) == 2  # both healthy specs persisted
+        failure = store.get_failure(self.poison())
+        assert failure is not None and failure.error_type == "KeyError"
+        # The failure is a diagnostic, not a cache entry: a re-run retries.
+        assert store.get(self.poison()) is None
+
+    def test_failure_round_trips_through_json(self):
+        try:
+            raise ValueError("broken workload")
+        except ValueError as error:
+            failure = ExperimentFailure.from_exception("abc123", error, attempts=2)
+        restored = ExperimentFailure.from_dict(
+            json.loads(json.dumps(failure.to_dict()))
+        )
+        assert restored == failure
+        assert "broken workload" in restored.traceback
+
+    def test_on_error_validation(self):
+        with pytest.raises(ValueError):
+            run_experiments([small_spec()], on_error="ignore")
+
+
 class TestResultStore:
     def test_cold_then_warm(self, tmp_path):
         store = ResultStore(tmp_path / "cache")
@@ -244,10 +332,28 @@ class TestResultStore:
         spec = small_spec()
         result = run_spec(spec)
         store.put(spec, result)
-        (tmp_path / f"{spec.content_key()}.json").write_text("not json")
+        key = spec.content_key()
+        (tmp_path / ResultStore.shard(key) / f"{key}.json").write_text("not json")
         assert store.get(spec) is None
         store.put(spec, result)
         assert deterministic_fields(store.get(spec)) == deterministic_fields(result)
+
+    def test_legacy_flat_entries_still_served(self, tmp_path):
+        # Entries written by the pre-sharding layout (directly in the cache
+        # root) must remain readable after the upgrade.
+        sharded = ResultStore(tmp_path)
+        spec = small_spec()
+        result = run_spec(spec)
+        sharded.put(spec, result)
+        key = spec.content_key()
+        sharded_path = tmp_path / ResultStore.shard(key) / f"{key}.json"
+        (tmp_path / f"{key}.json").write_text(
+            sharded_path.read_text(encoding="utf-8"), encoding="utf-8"
+        )
+        sharded_path.unlink()
+        served = ResultStore(tmp_path).get(spec)
+        assert served is not None
+        assert deterministic_fields(served) == deterministic_fields(result)
 
     def test_memory_store(self):
         store = MemoryResultStore()
@@ -259,6 +365,14 @@ class TestResultStore:
         assert (store.hits, store.misses) == (1, 1)
         store.clear()
         assert len(store) == 0
+
+    def test_memory_store_put_if_absent(self):
+        store = MemoryResultStore()
+        spec = small_spec()
+        result = run_spec(spec)
+        assert store.put_if_absent(spec, result) is True
+        assert store.put_if_absent(spec, result) is False
+        assert len(store) == 1
 
     def test_clear(self, tmp_path):
         store = ResultStore(tmp_path)
