@@ -6,7 +6,8 @@ directory.  They all build on the helpers here:
 * experiment parameters come from environment variables so the whole suite
   can be scaled up or down without editing code
   (``REPRO_BENCH_SCALE``, ``REPRO_BENCH_SEED``, ``REPRO_BENCH_THREADS_*``,
-  ``REPRO_BENCH_JOBS``, ``REPRO_BENCH_BACKEND``, ``REPRO_BENCH_CACHE_DIR``),
+  ``REPRO_BENCH_JOBS``, ``REPRO_BENCH_BACKEND``, ``REPRO_BENCH_HOSTS``,
+  ``REPRO_BENCH_CACHE_DIR``),
 * every experiment goes through the :mod:`repro.exp` orchestrator via the
   session-scoped :class:`ExperimentHarness`: detailed baselines are
   deduplicated and shared between figures (Figure 7 and Figure 9 use the same
@@ -66,13 +67,24 @@ def bench_jobs() -> int:
 
 
 def bench_backend_name() -> str:
-    """Execution backend name (auto/serial/pool/async).
+    """Execution backend name (auto/serial/pool/async/multihost).
 
     ``REPRO_BENCH_BACKEND=async`` runs every grid on the distributed
     asyncio-worker backend; the default ``auto`` keeps the historical
-    semantics (a process pool when ``REPRO_BENCH_JOBS`` > 1, else serial).
+    semantics (a process pool when ``REPRO_BENCH_JOBS`` > 1, else serial —
+    unless ``REPRO_BENCH_HOSTS`` is set, which selects ``multihost``).
     """
     return os.environ.get("REPRO_BENCH_BACKEND", "auto")
+
+
+def bench_hosts() -> Optional[str]:
+    """Multi-host worker budgets (``REPRO_BENCH_HOSTS=host1:4,host2:8``).
+
+    When set, the whole benchmark session runs through the multi-host
+    transport (host names starting with ``local`` launch subprocess
+    workers, anything else SSH); unset keeps single-host execution.
+    """
+    return os.environ.get("REPRO_BENCH_HOSTS") or None
 
 
 def thread_counts(kind: str) -> List[int]:
@@ -136,7 +148,8 @@ class ExperimentHarness:
             self.backend = backend
         else:
             self.backend = make_named_backend(
-                bench_backend_name(), workers=bench_jobs(), store=self.store
+                bench_backend_name(), workers=bench_jobs(), store=self.store,
+                hosts=bench_hosts(),
             )
 
     # ------------------------------------------------------------------

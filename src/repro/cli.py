@@ -15,12 +15,15 @@ The CLI exposes the most common workflows without writing any Python:
 
 The experiment-driven commands (``compare``, ``grid``, ``sweep``) accept
 ``--jobs N`` to shard their experiments over an N-process pool,
-``--backend {auto,serial,pool,async} --workers N`` to pick the execution
-backend explicitly (``async`` is the distributed asyncio supervisor over
-``repro.exp.worker`` subprocesses, with heartbeats and retry on worker
-death), and ``--cache-dir DIR`` to persist every result on disk, keyed by
-experiment content hash — re-running an unchanged grid is then a pure cache
-hit.  ``$REPRO_CACHE_DIR`` provides a default cache directory.
+``--backend {auto,serial,pool,async,multihost} --workers N`` to pick the
+execution backend explicitly (``async`` is the distributed asyncio
+supervisor over ``repro.exp.worker`` subprocesses, with heartbeats and
+retry on worker death; ``multihost`` fans workers out across machines),
+``--hosts host1:4,host2:8 [--listen PORT]`` to shard a grid over a cluster
+of connect-back workers (local subprocesses or SSH), and
+``--cache-dir DIR`` to persist every result on disk, keyed by experiment
+content hash — re-running an unchanged grid is then a pure cache hit.
+``$REPRO_CACHE_DIR`` provides a default cache directory.
 """
 
 from __future__ import annotations
@@ -81,10 +84,20 @@ def _backend_and_store(args: argparse.Namespace):
     if args.workers is not None and args.backend not in ("pool", "async"):
         raise ValueError(
             "--workers requires --backend pool or async "
-            "(parallelism under --backend auto is controlled by --jobs)"
+            "(parallelism under --backend auto is controlled by --jobs; "
+            "multihost budgets live in --hosts)"
+        )
+    if args.hosts and args.backend not in ("auto", "multihost"):
+        raise ValueError("--hosts requires --backend multihost (or auto)")
+    if args.listen and not (args.hosts or args.backend == "multihost"):
+        raise ValueError(
+            "--listen only applies to the multihost backend (pass --hosts)"
         )
     workers = args.workers if args.workers is not None else args.jobs
-    backend = make_named_backend(args.backend, workers=workers, store=store)
+    backend = make_named_backend(
+        args.backend, workers=workers, store=store,
+        hosts=args.hosts, listen=args.listen, connect_host=args.connect_host,
+    )
     return backend, store
 
 
@@ -118,6 +131,19 @@ def _add_orchestrator_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None,
                         help="persistent experiment result store "
                              "(default: $REPRO_CACHE_DIR if set)")
+    parser.add_argument("--hosts", default=None,
+                        help="multi-host worker budgets, e.g. "
+                             "'host1:4,host2:8' (names starting with "
+                             "'local' run subprocesses, others SSH; "
+                             "implies --backend multihost)")
+    parser.add_argument("--listen", default=None,
+                        help="bind address of the multihost connect-back "
+                             "listener: PORT or HOST:PORT (default: an "
+                             "ephemeral loopback port)")
+    parser.add_argument("--connect-host", default=None,
+                        help="address remote workers dial back to (default: "
+                             "127.0.0.1 for local hosts, this machine's "
+                             "hostname for SSH hosts)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -19,6 +19,11 @@ describes, schedules, executes and caches those experiments:
   length-prefixed JSON frame protocol (:mod:`repro.exp.protocol`), with
   heartbeats, bounded retry/requeue on worker death and graceful
   cancellation,
+* :mod:`repro.exp.hosts` — :class:`MultiHostBackend`, the multi-host
+  transport on top of it: a TCP listener (:class:`HostPool`) accepting
+  connect-back workers launched locally or via SSH, per-host worker
+  budgets, host-level quarantine of crash-looping machines and negotiated
+  zlib frame compression for high-latency links,
 * :mod:`repro.exp.store` — the persistent on-disk :class:`ResultStore`
   (content-hash keyed, shard-per-key-prefix, advisory file locking for
   concurrent multi-process writers) and its in-memory sibling.
@@ -51,6 +56,13 @@ from repro.exp.backends import (
     run_experiments,
 )
 from repro.exp.distributed import AsyncWorkerBackend
+from repro.exp.hosts import (
+    HostPool,
+    HostSpec,
+    MultiHostBackend,
+    parse_hosts,
+    parse_listen,
+)
 from repro.exp.runner import get_trace, run_spec
 from repro.exp.spec import ExperimentFailure, ExperimentResult, ExperimentSpec
 from repro.exp.store import (
@@ -69,6 +81,11 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "AsyncWorkerBackend",
+    "MultiHostBackend",
+    "HostPool",
+    "HostSpec",
+    "parse_hosts",
+    "parse_listen",
     "BACKEND_NAMES",
     "make_backend",
     "make_named_backend",

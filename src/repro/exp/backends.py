@@ -43,7 +43,7 @@ Store = Union[ResultStore, MemoryResultStore]
 Outcome = Union[ExperimentResult, ExperimentFailure]
 
 #: Backend names accepted by :func:`make_named_backend` and the CLI.
-BACKEND_NAMES = ("auto", "serial", "pool", "async")
+BACKEND_NAMES = ("auto", "serial", "pool", "async", "multihost")
 
 
 class ExperimentExecutionError(RuntimeError):
@@ -170,29 +170,63 @@ def make_named_backend(
     name: str,
     workers: Optional[int] = None,
     store: Optional[Store] = None,
+    hosts: Optional[str] = None,
+    listen: Optional[str] = None,
+    connect_host: Optional[str] = None,
 ) -> ExecutionBackend:
-    """Backend selected by name: ``auto``, ``serial``, ``pool`` or ``async``.
+    """Backend selected by name: ``auto``, ``serial``, ``pool``, ``async``
+    or ``multihost``.
 
     ``auto`` preserves the historical ``--jobs`` semantics (a pool when
-    ``workers`` > 1, serial otherwise).  ``async`` builds an
-    :class:`~repro.exp.distributed.AsyncWorkerBackend`; when ``store`` is an
-    on-disk :class:`ResultStore` it is attached so completed experiments are
+    ``workers`` > 1, serial otherwise) — unless ``hosts`` is given, which
+    selects ``multihost``.  ``async`` builds an
+    :class:`~repro.exp.distributed.AsyncWorkerBackend`; ``multihost`` builds
+    a :class:`~repro.exp.hosts.MultiHostBackend` from the ``hosts`` budget
+    string (``"host1:4,host2:8"``) and the optional ``listen`` bind address
+    (``"PORT"`` or ``"HOST:PORT"``).  For both, when ``store`` is an on-disk
+    :class:`ResultStore` it is attached so completed experiments are
     streamed into it as they finish (and survive a cancelled run).
     """
+    if name == "auto" and hosts:
+        name = "multihost"
+    if name != "multihost" and (hosts or listen or connect_host):
+        # Silently dropping a host list would run single-host while the
+        # caller (e.g. REPRO_BENCH_BACKEND=async REPRO_BENCH_HOSTS=...)
+        # believes the grid fanned out across machines.
+        raise ValueError(
+            "hosts/listen/connect_host only apply to the multihost backend "
+            f"(got backend {name!r})"
+        )
     if name == "auto":
         return make_backend(workers)
     if name == "serial":
         return SerialBackend()
     if name == "pool":
         return ProcessPoolBackend(max_workers=workers)
+    streaming = store if isinstance(store, ResultStore) else None
     if name == "async":
         from repro.exp.distributed import AsyncWorkerBackend
 
-        streaming = store if isinstance(store, ResultStore) else None
         # None defaults to 2; anything else (including 0) goes through the
         # backend's own validation instead of being silently reinterpreted.
         return AsyncWorkerBackend(
             num_workers=2 if workers is None else workers, store=streaming
+        )
+    if name == "multihost":
+        from repro.exp.hosts import MultiHostBackend, parse_listen
+
+        if not hosts:
+            raise ValueError(
+                "the multihost backend needs a host list "
+                "(--hosts host1:4,host2:8)"
+            )
+        listen_host, listen_port = parse_listen(listen)
+        return MultiHostBackend(
+            hosts,
+            listen_host=listen_host,
+            listen_port=listen_port,
+            connect_host=connect_host,
+            store=streaming,
         )
     raise ValueError(f"unknown backend {name!r} (choose from {BACKEND_NAMES})")
 

@@ -3,11 +3,11 @@
 :class:`AsyncWorkerBackend` dispatches :class:`~repro.exp.spec.ExperimentSpec`
 batches over an asyncio work queue to ``repro.exp.worker`` subprocesses
 speaking the length-prefixed JSON protocol of :mod:`repro.exp.protocol` over
-their stdin/stdout pipes.  Because the worker entrypoint is
-transport-agnostic (the same frames flow over pipes or sockets), the
-supervisor written here is the local half of a future multi-host deployment:
-pointing a worker at ``ssh host python -m repro.exp.worker`` changes the
-transport, not the protocol.
+their stdin/stdout pipes.  The supervisor is transport-agnostic: a
+:class:`_Worker` is just a pair of asyncio streams plus kill/wait handles, so
+the same dispatch loop drives local pipe workers here and connect-back TCP
+workers on other machines in :class:`repro.exp.hosts.MultiHostBackend`,
+which subclasses this backend and overrides only how workers are acquired.
 
 Fault model
 -----------
@@ -19,7 +19,10 @@ Fault model
   requeued (``max_retries`` times, then recorded as a failure) and the slot
   respawns a fresh worker.  A slot whose workers die repeatedly without ever
   completing a job gives up; when every slot has given up the remaining jobs
-  are failed instead of waiting forever.
+  are failed instead of waiting forever.  (The multi-host backend adds a
+  second, host-level layer of this accounting: a *host* whose workers
+  crash-loop is quarantined and its slots retire, leaving its jobs to the
+  healthy hosts.)
 * **Hung workers** — the supervisor pings every worker on a heartbeat
   interval; the worker's reader thread pongs even while a simulation is
   running, so a silence longer than ``heartbeat_timeout`` means the process
@@ -34,7 +37,8 @@ Determinism: results are collected by job index and returned in submission
 order, and the workers funnel through the same
 :func:`~repro.exp.runner.run_spec` as every other backend, so the output is
 bit-identical to :class:`~repro.exp.backends.SerialBackend` regardless of
-worker count, scheduling or retries (see ``tests/test_exp_distributed.py``).
+worker count, scheduling or retries (see ``tests/test_exp_distributed.py``
+and ``tests/test_exp_multihost.py``).
 """
 
 from __future__ import annotations
@@ -44,7 +48,7 @@ import os
 import signal
 import sys
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Awaitable, Callable, Coroutine, Dict, List, Optional, Sequence
 
 from repro.exp import protocol
 from repro.exp.backends import Outcome, Store, _raise_on_failure, map_unique
@@ -61,6 +65,32 @@ class WorkerDied(RuntimeError):
     """The worker process holding a job exited before answering it."""
 
 
+class SpawnError(OSError):
+    """A worker could not be brought up (spawn or connect-back failed)."""
+
+
+def worker_environment(extra: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+    """Environment for a worker process that can import this repro package.
+
+    Workers must import the same ``repro`` as the supervisor even when it
+    only lives on the supervisor's ``sys.path`` (src checkouts), so the
+    package root is prepended to ``PYTHONPATH``.  Shared by the local
+    subprocess transport here and the launchers of :mod:`repro.exp.hosts`.
+    """
+    env = dict(os.environ)
+    import repro
+
+    package_root = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH")
+    if package_root not in (existing or "").split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+    if extra:
+        env.update(extra)
+    return env
+
+
 class _Job:
     __slots__ = ("index", "spec", "key", "attempts")
 
@@ -72,29 +102,116 @@ class _Job:
 
 
 class _Worker:
-    """One live worker subprocess and its supervisor-side state."""
+    """One live worker and its supervisor-side state, transport-agnostic.
 
-    def __init__(self, proc: "asyncio.subprocess.Process") -> None:
-        self.proc = proc
-        self.pid = proc.pid
+    A worker is a frame source (``reader``, an ``asyncio.StreamReader``), a
+    frame sink (``writer``, anything with ``write``/``drain``/``close``) and
+    a pair of process handles (``kill_process``, ``wait_process``).  The
+    subprocess transport builds one from a pipe pair
+    (:meth:`from_process`); the multi-host transport builds one from an
+    accepted TCP connection plus its launcher handle
+    (:meth:`from_connection`).
+    """
+
+    def __init__(
+        self,
+        reader: "asyncio.StreamReader",
+        writer,
+        pid: int,
+        kill_process: Callable[[], None],
+        wait_process: Callable[[], Awaitable[object]],
+        host: Optional[str] = None,
+        compress_out: bool = False,
+        handshaked: bool = False,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.pid = pid
+        self._kill_process = kill_process
+        self._wait_process = wait_process
+        self.host = host
+        #: Whether frames *to* this worker may be compressed (negotiated).
+        self.compress_out = compress_out
         self.alive = True
         self.spawned_at = asyncio.get_running_loop().time()
         self.last_seen = self.spawned_at
-        self.handshaked = False  # True once any frame (hello) arrived
+        self.handshaked = handshaked  # True once any frame (hello) arrived
         self.pending: Dict[int, "asyncio.Future[Outcome]"] = {}
         self.completed = 0
         self.reader_task: Optional["asyncio.Task"] = None
         self.monitor_task: Optional["asyncio.Task"] = None
 
+    @classmethod
+    def from_process(cls, proc: "asyncio.subprocess.Process") -> "_Worker":
+        """Worker over a subprocess's stdin/stdout pipe pair."""
+        return cls(
+            reader=proc.stdout,
+            writer=proc.stdin,
+            pid=proc.pid,
+            kill_process=proc.kill,
+            wait_process=proc.wait,
+        )
+
+    @classmethod
+    def from_connection(
+        cls,
+        reader: "asyncio.StreamReader",
+        writer: "asyncio.StreamWriter",
+        pid: int,
+        kill_process: Callable[[], None],
+        wait_process: Callable[[], Awaitable[object]],
+        host: str,
+        compress_out: bool = False,
+    ) -> "_Worker":
+        """Worker over an accepted connect-back TCP stream pair.
+
+        The hello frame was already consumed by the acceptor, so the worker
+        starts handshaked: heartbeat staleness applies immediately instead of
+        the startup grace.
+        """
+        return cls(
+            reader=reader,
+            writer=writer,
+            pid=pid,
+            kill_process=kill_process,
+            wait_process=wait_process,
+            host=host,
+            compress_out=compress_out,
+            handshaked=True,
+        )
+
+    # ------------------------------------------------------------------
     async def send(self, message: Dict[str, object]) -> None:
-        stdin = self.proc.stdin
-        if stdin is None or not self.alive:
+        if self.writer is None or not self.alive:
             raise WorkerDied(f"worker {self.pid} is gone")
         try:
-            stdin.write(protocol.encode_frame(message))
-            await stdin.drain()
+            self.writer.write(
+                protocol.encode_frame(message, compress=self.compress_out)
+            )
+            await self.writer.drain()
         except (OSError, ConnectionResetError, BrokenPipeError) as exc:
             raise WorkerDied(f"worker {self.pid} pipe closed: {exc}") from exc
+
+    def kill(self) -> None:
+        """Forcefully terminate the worker process (best effort)."""
+        try:
+            self._kill_process()
+        except (OSError, ProcessLookupError):
+            pass
+
+    async def wait(self) -> None:
+        """Reap the worker process (or its launcher)."""
+        await self._wait_process()
+
+    def close_gracefully(self) -> None:
+        """Ask the worker to exit: shutdown frame, then close its input."""
+        if self.writer is None:
+            return
+        try:
+            self.writer.write(protocol.encode_frame({"type": "shutdown"}))
+            self.writer.close()
+        except (OSError, RuntimeError):
+            pass
 
 
 class AsyncWorkerBackend:
@@ -203,19 +320,7 @@ class AsyncWorkerBackend:
         self._workers.clear()
 
     def _worker_environment(self) -> Dict[str, str]:
-        env = dict(os.environ)
-        # Workers must import the same repro package as the supervisor even
-        # when it only lives on the supervisor's sys.path (src checkouts).
-        import repro
-
-        package_root = str(Path(repro.__file__).resolve().parent.parent)
-        existing = env.get("PYTHONPATH")
-        if package_root not in (existing or "").split(os.pathsep):
-            env["PYTHONPATH"] = (
-                package_root + (os.pathsep + existing if existing else "")
-            )
-        env.update(self.worker_env)
-        return env
+        return worker_environment(self.worker_env)
 
     async def _spawn_worker(self) -> _Worker:
         proc = await asyncio.create_subprocess_exec(
@@ -225,13 +330,17 @@ class AsyncWorkerBackend:
             stdout=asyncio.subprocess.PIPE,
             env=self._worker_environment(),
         )
-        worker = _Worker(proc)
+        worker = _Worker.from_process(proc)
+        self._register_worker(worker)
+        return worker
+
+    def _register_worker(self, worker: _Worker) -> None:
+        """Track a freshly acquired worker and start its reader + monitor."""
         self.stats["spawns"] = self.stats.get("spawns", 0) + 1
         self._pids.add(worker.pid)
         self._workers.append(worker)
         worker.reader_task = asyncio.ensure_future(self._read_worker(worker))
         worker.monitor_task = asyncio.ensure_future(self._monitor_worker(worker))
-        return worker
 
     def _release_worker(self, worker: _Worker) -> None:
         worker.alive = False
@@ -240,12 +349,11 @@ class AsyncWorkerBackend:
             self._workers.remove(worker)
 
     async def _read_worker(self, worker: _Worker) -> None:
-        """Parse frames from one worker until its stdout closes."""
+        """Parse frames from one worker until its stream closes."""
         loop = asyncio.get_running_loop()
-        stdout = worker.proc.stdout
         try:
             while True:
-                message = await protocol.read_frame_async(stdout)
+                message = await protocol.read_frame_async(worker.reader)
                 worker.last_seen = loop.time()
                 worker.handshaked = True
                 kind = message.get("type")
@@ -277,10 +385,7 @@ class AsyncWorkerBackend:
             # (e.g. something wrote to the real stdout and desynchronised the
             # frames); kill it so a requeued job is not silently duplicated
             # by an orphan twin.
-            try:
-                worker.proc.kill()
-            except (OSError, ProcessLookupError):
-                pass
+            worker.kill()
         finally:
             self._release_worker(worker)
             for future in list(worker.pending.values()):
@@ -311,10 +416,7 @@ class AsyncWorkerBackend:
                 self.stats["heartbeat_kills"] = (
                     self.stats.get("heartbeat_kills", 0) + 1
                 )
-                try:
-                    worker.proc.kill()
-                except (OSError, ProcessLookupError):
-                    pass
+                worker.kill()
                 return  # the reader's EOF turns this into the death path
             if not worker.handshaked:
                 continue
@@ -340,18 +442,40 @@ class AsyncWorkerBackend:
         self,
         queue: "asyncio.Queue[_Job]",
         finish: Callable[[_Job, Outcome], None],
+        spawn: Optional[Callable[[], Awaitable[_Worker]]] = None,
+        host=None,
     ) -> None:
-        """One dispatch loop: owns (at most) one live worker at a time."""
+        """One dispatch loop: owns (at most) one live worker at a time.
+
+        ``spawn`` acquires a fresh worker (defaults to the local subprocess
+        transport) and ``host`` is the optional host-accounting object of
+        the multi-host backend: its ``record_death``/``record_success``
+        methods aggregate failures across every slot of one machine, and a
+        quarantined host retires its slots (requeueing any job in hand) so
+        the remaining hosts drain the queue.
+        """
+        spawn = spawn if spawn is not None else self._spawn_worker
         worker: Optional[_Worker] = None
         consecutive_deaths = 0
         while True:
             job = await queue.get()
+            if host is not None and host.quarantined:
+                queue.put_nowait(job)
+                # A sibling slot's deaths quarantined the host while this
+                # slot's worker was healthy and idle: ask it to exit now
+                # rather than hold a process (or SSH channel) until the end
+                # of the batch.  Its reader's EOF does the bookkeeping.
+                if worker is not None and worker.alive:
+                    worker.close_gracefully()
+                return
             if worker is None or not worker.alive:
                 try:
-                    worker = await self._spawn_worker()
+                    worker = await spawn()
                 except (OSError, ValueError) as exc:
                     consecutive_deaths += 1
                     queue.put_nowait(job)  # spawn failure is not the job's fault
+                    if self._record_host_death(host):
+                        return
                     if consecutive_deaths > self.spawn_retries:
                         return
                     await asyncio.sleep(0.05 * consecutive_deaths)
@@ -376,6 +500,8 @@ class AsyncWorkerBackend:
                 else:
                     self.stats["requeues"] = self.stats.get("requeues", 0) + 1
                     queue.put_nowait(job)
+                if self._record_host_death(host):
+                    return
                 if consecutive_deaths > self.spawn_retries:
                     return  # crash-looping; let the remaining slots (if any) work
                 continue
@@ -384,9 +510,40 @@ class AsyncWorkerBackend:
                 continue
             consecutive_deaths = 0
             worker.completed += 1
+            if host is not None:
+                host.record_success()
             if isinstance(outcome, ExperimentFailure):
                 outcome.attempts = job.attempts + 1
             finish(job, outcome)
+
+    def _record_host_death(self, host) -> bool:
+        """Feed one worker death into ``host``; True when the slot must retire."""
+        if host is None:
+            return False
+        if host.record_death():
+            self.stats["hosts_quarantined"] = (
+                self.stats.get("hosts_quarantined", 0) + 1
+            )
+        return host.quarantined
+
+    # ------------------------------------------------------------------
+    async def _startup(self) -> None:
+        """Transport setup before any slot runs (multi-host: the listener)."""
+
+    async def _teardown(self) -> None:
+        """Transport cleanup after every worker was reaped."""
+
+    def _slot_coroutines(
+        self,
+        queue: "asyncio.Queue[_Job]",
+        finish: Callable[[_Job, Outcome], None],
+        num_jobs: int,
+    ) -> List[Coroutine]:
+        """Dispatch-loop coroutines to run; one per concurrent worker."""
+        return [
+            self._worker_slot(queue, finish)
+            for _ in range(min(self.num_workers, num_jobs))
+        ]
 
     async def _shutdown_workers(self) -> None:
         """Terminate and reap every live worker; tolerate cancellation."""
@@ -396,23 +553,14 @@ class AsyncWorkerBackend:
             for task in (worker.reader_task, worker.monitor_task):
                 if task is not None:
                     task.cancel()
-            stdin = worker.proc.stdin
-            if stdin is not None:
-                try:
-                    stdin.write(protocol.encode_frame({"type": "shutdown"}))
-                    stdin.close()
-                except (OSError, RuntimeError):
-                    pass
+            worker.close_gracefully()
         for worker in workers:
             try:
-                await asyncio.wait_for(worker.proc.wait(), timeout=2.0)
+                await asyncio.wait_for(worker.wait(), timeout=2.0)
             except BaseException:
+                worker.kill()
                 try:
-                    worker.proc.kill()
-                except (OSError, ProcessLookupError):
-                    pass
-                try:
-                    await worker.proc.wait()
+                    await worker.wait()
                 except BaseException:
                     pass
             self._pids.discard(worker.pid)
@@ -490,11 +638,7 @@ class AsyncWorkerBackend:
         except (ValueError, NotImplementedError, RuntimeError):
             pass  # non-main thread or platform without signal support
 
-        slot_count = min(self.num_workers, len(jobs))
-        slots = [
-            asyncio.ensure_future(self._worker_slot(queue, finish))
-            for _ in range(slot_count)
-        ]
+        slots: List["asyncio.Task"] = []
 
         def on_slot_done(_task: "asyncio.Task") -> None:
             if shutting_down or done.is_set():
@@ -513,10 +657,14 @@ class AsyncWorkerBackend:
                     ))
             done.set()
 
-        for slot in slots:
-            slot.add_done_callback(on_slot_done)
-
         try:
+            await self._startup()
+            slots.extend(
+                asyncio.ensure_future(coroutine)
+                for coroutine in self._slot_coroutines(queue, finish, len(jobs))
+            )
+            for slot in slots:
+                slot.add_done_callback(on_slot_done)
             await done.wait()
         except asyncio.CancelledError:
             if not interrupted:
@@ -533,6 +681,7 @@ class AsyncWorkerBackend:
                 except BaseException:
                     pass
             await self._shutdown_workers()
+            await self._teardown()
 
         if interrupted:
             raise KeyboardInterrupt

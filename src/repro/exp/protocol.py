@@ -1,11 +1,26 @@
 """Length-prefixed JSON framing shared by the async supervisor and workers.
 
-The distributed backend (:mod:`repro.exp.distributed`) and the worker
-entrypoint (:mod:`repro.exp.worker`) exchange *frames*: a 4-byte big-endian
-unsigned payload length followed by a UTF-8 JSON object.  The framing is
-transport-agnostic — the same bytes flow over subprocess pipes today and can
-flow over a TCP socket or an SSH channel tomorrow, which is why the worker
-accepts ``--connect HOST PORT`` in addition to its default stdio mode.
+The distributed backend (:mod:`repro.exp.distributed`), the multi-host
+transport (:mod:`repro.exp.hosts`) and the worker entrypoint
+(:mod:`repro.exp.worker`) exchange *frames*: a 4-byte big-endian header
+followed by a UTF-8 JSON object.  The framing is transport-agnostic — the
+same bytes flow over subprocess pipes, TCP sockets and SSH channels — which
+is why the worker accepts ``--connect HOST PORT`` in addition to its default
+stdio mode.
+
+Compression
+-----------
+The header's most-significant bit marks a zlib-compressed payload; the
+remaining 31 bits are the on-wire payload length (well above
+:data:`MAX_FRAME_BYTES`, so the bit is free).  Decoders always understand
+both forms.  Encoders only compress when asked to (``compress=True``) *and*
+the payload is large enough to plausibly win
+(:data:`COMPRESS_MIN_BYTES`) *and* compression actually shrinks it —
+heartbeat pings therefore always travel uncompressed.  Whether a peer may be
+*sent* compressed frames is negotiated once at connection setup: the worker
+advertises ``"compress": true`` in its ``hello`` and the supervisor's
+``hello_ack`` answers with the negotiated setting, so a peer that predates
+this feature simply never receives a compressed frame.
 
 Frame types
 -----------
@@ -15,12 +30,18 @@ Supervisor to worker:
   execute one experiment; exactly one ``result``/``error`` frame answers it.
 * ``{"type": "ping", "seq": <int>}`` — heartbeat probe; answered immediately
   by the worker's reader thread even while a simulation is running.
+* ``{"type": "hello_ack", "compress": <bool>}`` — answers a connect-back
+  worker's ``hello``; ``compress`` tells the worker whether it may compress
+  the frames it sends.  (Not sent on the stdio transport, where links are
+  local pipes and compression never pays.)
 * ``{"type": "shutdown"}`` — finish the current job (if any) and exit.
 
 Worker to supervisor:
 
-* ``{"type": "hello", "pid": <int>, "protocol": <int>}`` — sent once on
-  startup.
+* ``{"type": "hello", "pid": <int>, "protocol": <int>,
+  "compress": <bool>[, "token": <str>]}`` — sent once on startup.  The
+  ``token`` echoes ``--token`` and lets a multi-host supervisor match the
+  inbound TCP connection to the launch that created it.
 * ``{"type": "result", "job": <int>, "result": <ExperimentResult.to_dict()>}``
 * ``{"type": "error", "job": <int>, "error": <ExperimentFailure.to_dict()>}``
   — the spec raised; the worker stays alive and takes the next job.
@@ -31,15 +52,26 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 from typing import BinaryIO, Dict, Optional
 
 #: Protocol version announced in the ``hello`` frame.  Bump on any
-#: incompatible change to the frame vocabulary above.
-PROTOCOL_VERSION = 1
+#: incompatible change to the frame vocabulary above.  Version 2 added the
+#: compressed-frame header bit and the ``hello_ack`` negotiation (both
+#: backward compatible: uncompressed frames are unchanged on the wire).
+PROTOCOL_VERSION = 2
 
-#: Upper bound on a single frame payload; a frame header exceeding it means
-#: the stream is desynchronised (or hostile) and the connection is torn down.
+#: Upper bound on a single frame payload (compressed or decompressed); a
+#: frame header exceeding it means the stream is desynchronised (or hostile)
+#: and the connection is torn down.
 MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Payloads below this size are never compressed: the zlib header plus the
+#: CPU time would cost more than the handful of bytes saved.
+COMPRESS_MIN_BYTES = 512
+
+#: Header bit marking a zlib-compressed payload.
+_COMPRESSED_BIT = 0x80000000
 
 _HEADER = struct.Struct(">I")
 
@@ -48,16 +80,49 @@ class ProtocolError(RuntimeError):
     """The byte stream does not contain a well-formed frame."""
 
 
-def encode_frame(message: Dict[str, object]) -> bytes:
-    """Serialise ``message`` to one length-prefixed frame."""
+def encode_frame(message: Dict[str, object], *, compress: bool = False) -> bytes:
+    """Serialise ``message`` to one length-prefixed frame.
+
+    With ``compress=True`` the payload is zlib-compressed when it is at
+    least :data:`COMPRESS_MIN_BYTES` long and compression actually shrinks
+    it; the header's top bit records which form was sent, so decoders need
+    no out-of-band signal.
+    """
     payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
     if len(payload) > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {len(payload)} bytes exceeds the maximum")
+    if compress and len(payload) >= COMPRESS_MIN_BYTES:
+        squeezed = zlib.compress(payload, 6)
+        if len(squeezed) < len(payload):
+            return _HEADER.pack(len(squeezed) | _COMPRESSED_BIT) + squeezed
     return _HEADER.pack(len(payload)) + payload
 
 
-def decode_payload(payload: bytes) -> Dict[str, object]:
+def _unpack_header(header: bytes) -> "tuple[int, bool]":
+    (word,) = _HEADER.unpack(header)
+    compressed = bool(word & _COMPRESSED_BIT)
+    length = word & ~_COMPRESSED_BIT
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame header announces {length} bytes")
+    return length, compressed
+
+
+def _decompress_payload(payload: bytes) -> bytes:
+    """Inflate a compressed payload, capped at :data:`MAX_FRAME_BYTES`."""
+    inflater = zlib.decompressobj()
+    try:
+        data = inflater.decompress(payload, MAX_FRAME_BYTES + 1)
+    except zlib.error as exc:
+        raise ProtocolError(f"undecompressable frame payload: {exc}") from exc
+    if len(data) > MAX_FRAME_BYTES or not inflater.eof:
+        raise ProtocolError("compressed frame inflates past the maximum")
+    return data
+
+
+def decode_payload(payload: bytes, *, compressed: bool = False) -> Dict[str, object]:
     """Parse a frame payload back into a message dictionary."""
+    if compressed:
+        payload = _decompress_payload(payload)
     try:
         message = json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -87,18 +152,18 @@ def read_frame(stream: BinaryIO) -> Optional[Dict[str, object]]:
     header = _read_exactly(stream, _HEADER.size)
     if header is None:
         return None
-    (length,) = _HEADER.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame header announces {length} bytes")
+    length, compressed = _unpack_header(header)
     payload = _read_exactly(stream, length)
     if payload is None:
         raise ProtocolError("stream closed between header and payload")
-    return decode_payload(payload)
+    return decode_payload(payload, compressed=compressed)
 
 
-def write_frame(stream: BinaryIO, message: Dict[str, object]) -> None:
+def write_frame(
+    stream: BinaryIO, message: Dict[str, object], *, compress: bool = False
+) -> None:
     """Write one frame to a blocking binary stream and flush it."""
-    stream.write(encode_frame(message))
+    stream.write(encode_frame(message, compress=compress))
     stream.flush()
 
 
@@ -110,7 +175,5 @@ async def read_frame_async(stream) -> Dict[str, object]:
     :func:`read_frame` share one definition of the wire format.
     """
     header = await stream.readexactly(_HEADER.size)
-    (length,) = _HEADER.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame header announces {length} bytes")
-    return decode_payload(await stream.readexactly(length))
+    length, compressed = _unpack_header(header)
+    return decode_payload(await stream.readexactly(length), compressed=compressed)

@@ -2,16 +2,22 @@
 
 A worker speaks the length-prefixed JSON protocol of
 :mod:`repro.exp.protocol` over its stdin/stdout pipes (default) or over a TCP
-socket (``--connect HOST PORT``), which is what will let the same entrypoint
-run on a remote host behind ``ssh host python -m repro.exp.worker`` without a
-new protocol.
+socket (``--connect HOST PORT``), which is what lets the same entrypoint run
+on a remote host behind ``ssh host python -m repro.exp.worker`` without a new
+protocol.  In connect mode the initial TCP connect is retried with
+exponential backoff (``--connect-retries`` / ``--connect-backoff``), so
+workers launched before the supervisor's listener is up still join instead of
+dying on the first refused connection; ``--token`` is echoed in the ``hello``
+frame so a multi-host supervisor can match the inbound connection to the
+launch that created it.
 
 Two threads cooperate:
 
 * the **reader thread** parses incoming frames: ``ping`` is answered with
   ``pong`` immediately — even while a simulation is running, so supervisor
-  heartbeats measure process liveness rather than job length — while ``run``
-  jobs are handed to the main thread and ``shutdown``/EOF ends the process;
+  heartbeats measure process liveness rather than job length — ``hello_ack``
+  records whether the supervisor negotiated compressed frames, ``run`` jobs
+  are handed to the main thread and ``shutdown``/EOF ends the process;
 * the **main thread** executes jobs one at a time through
   :func:`repro.exp.runner.run_spec` (sharing its per-process trace memo, so a
   worker that receives many specs of one benchmark generates the trace once)
@@ -23,11 +29,13 @@ frame stream: in stdio mode ``sys.stdout`` is rebound to stderr before any
 job runs, and all frame writes go through one lock-guarded writer.
 
 Fault injection (tests only): the ``REPRO_EXP_WORKER_FAULT`` environment
-variable, formatted ``<key-prefix>:<flag-file>``, makes the worker SIGKILL
-itself the first time it receives a spec whose content key starts with the
-prefix — the flag file is created first (with ``O_EXCL``, so exactly one
-worker dies once per flag file), letting the test suite deterministically
-exercise the supervisor's requeue path.
+variable, formatted ``<key-prefix>:<flag-file>[:<mode>]``, makes the worker
+SIGKILL itself when it receives a spec whose content key starts with the
+prefix.  In the default (die-once) mode the flag file is created first with
+``O_EXCL``, so exactly one worker dies once per flag file — the supervisor's
+requeue path.  With mode ``always`` every worker holding a matching spec
+dies every time (the flag file is still touched, without exclusivity) — the
+crash-looping-host path that exercises quarantine.
 """
 
 from __future__ import annotations
@@ -39,6 +47,7 @@ import signal
 import socket
 import sys
 import threading
+import time
 from typing import BinaryIO, Dict, Optional, Sequence
 
 from repro.exp import protocol
@@ -48,26 +57,46 @@ from repro.exp.spec import ExperimentFailure, ExperimentSpec
 #: Test-only fault hook; see the module docstring.
 FAULT_ENV = "REPRO_EXP_WORKER_FAULT"
 
+#: Default bounded-retry budget for ``--connect`` (first attempt excluded).
+DEFAULT_CONNECT_RETRIES = 12
+
+#: Initial backoff between connect attempts; doubles per attempt, capped.
+DEFAULT_CONNECT_BACKOFF = 0.2
+
+_CONNECT_BACKOFF_CAP = 2.0
+
 
 class _FrameWriter:
-    """Serialises frame writes from the main and reader threads."""
+    """Serialises frame writes from the main and reader threads.
+
+    ``compress`` starts off (stdio links never negotiate compression) and is
+    flipped by the reader thread when a ``hello_ack`` grants it; a plain bool
+    assignment is atomic under the GIL, and frame ordering guarantees the ack
+    is processed before any job whose answer could be compressed.
+    """
 
     def __init__(self, stream: BinaryIO) -> None:
         self._stream = stream
         self._lock = threading.Lock()
+        self.compress = False
 
     def send(self, message: Dict[str, object]) -> None:
         with self._lock:
-            protocol.write_frame(self._stream, message)
+            protocol.write_frame(self._stream, message, compress=self.compress)
 
 
 def _maybe_inject_fault(spec_key: str) -> None:
     raw = os.environ.get(FAULT_ENV)
     if not raw:
         return
-    prefix, _, flag_file = raw.partition(":")
+    prefix, _, rest = raw.partition(":")
+    flag_file, _, mode = rest.partition(":")
     if not flag_file or not spec_key.startswith(prefix):
         return
+    if mode == "always":
+        with open(flag_file, "a", encoding="utf-8"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
     try:
         fd = os.open(flag_file, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
     except FileExistsError:
@@ -76,14 +105,22 @@ def _maybe_inject_fault(spec_key: str) -> None:
     os.kill(os.getpid(), signal.SIGKILL)
 
 
-def serve(reader_stream: BinaryIO, writer_stream: BinaryIO) -> None:
+def serve(
+    reader_stream: BinaryIO,
+    writer_stream: BinaryIO,
+    token: Optional[str] = None,
+) -> None:
     """Serve the worker protocol until ``shutdown`` or EOF."""
     out = _FrameWriter(writer_stream)
-    out.send({
+    hello: Dict[str, object] = {
         "type": "hello",
         "pid": os.getpid(),
         "protocol": protocol.PROTOCOL_VERSION,
-    })
+        "compress": True,
+    }
+    if token is not None:
+        hello["token"] = token
+    out.send(hello)
     jobs: "queue.Queue[Optional[Dict[str, object]]]" = queue.Queue()
 
     def read_loop() -> None:
@@ -104,6 +141,8 @@ def serve(reader_stream: BinaryIO, writer_stream: BinaryIO) -> None:
                     return
             elif kind == "run":
                 jobs.put(message)
+            elif kind == "hello_ack":
+                out.compress = bool(message.get("compress"))
             elif kind == "shutdown":
                 jobs.put(None)
                 return
@@ -127,6 +166,39 @@ def serve(reader_stream: BinaryIO, writer_stream: BinaryIO) -> None:
             out.send({"type": "error", "job": job_id, "error": failure.to_dict()})
 
 
+def connect_with_retry(
+    host: str,
+    port: int,
+    retries: int = DEFAULT_CONNECT_RETRIES,
+    backoff: float = DEFAULT_CONNECT_BACKOFF,
+) -> socket.socket:
+    """Connect to the supervisor, retrying refused/unreachable attempts.
+
+    A connect-back worker routinely races its supervisor's listener (the
+    launcher fires before ``asyncio.start_server`` finished binding, or an
+    SSH session comes up faster than the supervisor), so a failed TCP
+    connect is retried ``retries`` times with exponential backoff
+    (``backoff``, ``2*backoff``, ... capped at 2 s) before giving up.
+    """
+    attempt = 0
+    while True:
+        try:
+            connection = socket.create_connection((host, port), timeout=10.0)
+            # The 10s deadline is for the *connect* only.  It must not leak
+            # into the connection's lifetime: reads block between frames for
+            # arbitrarily long (pings only arrive every heartbeat interval,
+            # and a supervisor stalled on a slow store write sends nothing),
+            # and a socket.timeout is an OSError the reader would mistake
+            # for EOF, silently killing every idle worker.
+            connection.settimeout(None)
+            return connection
+        except OSError:
+            if attempt >= retries:
+                raise
+            time.sleep(min(backoff * (2.0 ** attempt), _CONNECT_BACKOFF_CAP))
+            attempt += 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Worker entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -137,21 +209,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--connect", nargs=2, metavar=("HOST", "PORT"), default=None,
         help="connect to a supervisor socket instead of using stdin/stdout",
     )
+    parser.add_argument(
+        "--connect-retries", type=int, default=DEFAULT_CONNECT_RETRIES,
+        help="failed TCP connects tolerated before giving up "
+             f"(default {DEFAULT_CONNECT_RETRIES})",
+    )
+    parser.add_argument(
+        "--connect-backoff", type=float, default=DEFAULT_CONNECT_BACKOFF,
+        help="initial sleep between connect attempts, doubled per attempt "
+             f"(default {DEFAULT_CONNECT_BACKOFF}s, capped at "
+             f"{_CONNECT_BACKOFF_CAP}s)",
+    )
+    parser.add_argument(
+        "--token", default=None,
+        help="opaque launch token echoed in the hello frame (multi-host "
+             "supervisors use it to match connections to launches)",
+    )
     args = parser.parse_args(argv)
 
     if args.connect is not None:
         host, port = args.connect
-        with socket.create_connection((host, int(port))) as connection:
+        try:
+            connection = connect_with_retry(
+                host, int(port),
+                retries=max(0, args.connect_retries),
+                backoff=max(0.0, args.connect_backoff),
+            )
+        except OSError as exc:
+            print(f"repro.exp.worker: cannot reach supervisor "
+                  f"{host}:{port}: {exc}", file=sys.stderr)
+            return 1
+        with connection:
             with connection.makefile("rb") as reader_stream, \
                     connection.makefile("wb") as writer_stream:
-                serve(reader_stream, writer_stream)
+                serve(reader_stream, writer_stream, token=args.token)
         return 0
 
     reader_stream = sys.stdin.buffer
     writer_stream = sys.stdout.buffer
     # Frames own the real stdout; reroute stray prints to stderr.
     sys.stdout = sys.stderr
-    serve(reader_stream, writer_stream)
+    serve(reader_stream, writer_stream, token=args.token)
     return 0
 
 
