@@ -7,7 +7,7 @@ directory.  They all build on the helpers here:
   can be scaled up or down without editing code
   (``REPRO_BENCH_SCALE``, ``REPRO_BENCH_SEED``, ``REPRO_BENCH_THREADS_*``,
   ``REPRO_BENCH_JOBS``, ``REPRO_BENCH_BACKEND``, ``REPRO_BENCH_HOSTS``,
-  ``REPRO_BENCH_CACHE_DIR``),
+  ``REPRO_BENCH_BATCH``, ``REPRO_BENCH_CACHE_DIR``),
 * every experiment goes through the :mod:`repro.exp` orchestrator via the
   session-scoped :class:`ExperimentHarness`: detailed baselines are
   deduplicated and shared between figures (Figure 7 and Figure 9 use the same
@@ -87,6 +87,16 @@ def bench_hosts() -> Optional[str]:
     return os.environ.get("REPRO_BENCH_HOSTS") or None
 
 
+def bench_batch() -> Optional[str]:
+    """Specs per dispatch frame (``REPRO_BENCH_BATCH=N|adaptive[:N]``).
+
+    Applies to the async/multihost backends (protocol-level ``run_batch``
+    dispatch) and maps onto ``chunksize`` for the process pool; unset keeps
+    one spec per dispatch.
+    """
+    return os.environ.get("REPRO_BENCH_BATCH") or None
+
+
 def thread_counts(kind: str) -> List[int]:
     """Thread counts for ``kind`` in {"highperf", "lowpower", "sweep"}.
 
@@ -149,7 +159,7 @@ class ExperimentHarness:
         else:
             self.backend = make_named_backend(
                 bench_backend_name(), workers=bench_jobs(), store=self.store,
-                hosts=bench_hosts(),
+                hosts=bench_hosts(), batch=bench_batch(),
             )
 
     # ------------------------------------------------------------------

@@ -45,14 +45,19 @@ from repro.exp import (
 from repro.workloads.registry import list_workloads
 
 
-def build_grid(scale: float, seed: int, highperf_threads: int, lowpower_threads: int):
-    """Sampled + baseline specs for all 19 benchmarks x both architectures."""
+def build_grid(scale: float, seed: int, highperf_threads: int, lowpower_threads: int,
+               benchmarks=None):
+    """Sampled + baseline specs for the benchmarks x both architectures.
+
+    ``benchmarks`` defaults to all 19 of Table I; the smoke tests pass a
+    subset to keep the double (serial + multi-host) sweep fast.
+    """
     architectures = (
         (high_performance_config(), highperf_threads),
         (low_power_config(), lowpower_threads),
     )
     specs = []
-    for benchmark in list_workloads():
+    for benchmark in benchmarks if benchmarks is not None else list_workloads():
         for architecture, threads in architectures:
             spec = ExperimentSpec(
                 benchmark=benchmark,
@@ -90,6 +95,13 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", type=float, default=0.01,
                         help="workload scale; 1.0 is paper scale "
                              "(default 0.01)")
+    parser.add_argument("--benchmarks", default=None,
+                        help="comma-separated benchmark subset "
+                             "(default: all 19 of Table I)")
+    parser.add_argument("--batch", default=None,
+                        help="specs per dispatch frame for the multi-host "
+                             "run: N, 'adaptive' or 'adaptive:N' "
+                             "(default: one spec at a time)")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--threads-highperf", type=int, default=8)
     parser.add_argument("--threads-lowpower", type=int, default=4)
@@ -100,10 +112,26 @@ def main(argv=None) -> int:
                              "temporary directory")
     args = parser.parse_args(argv)
 
+    from repro.exp import parse_batch
+
+    try:
+        parse_batch(args.batch)  # fail now, not after the serial reference run
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.benchmarks:
+        benchmarks = [part.strip() for part in args.benchmarks.split(",")
+                      if part.strip()]
+        unknown = sorted(set(benchmarks) - set(list_workloads()))
+        if unknown:
+            parser.error(f"unknown benchmark(s): {', '.join(unknown)} "
+                         "(see 'repro list')")
+    else:
+        benchmarks = list_workloads()
     specs = build_grid(args.scale, args.seed,
-                       args.threads_highperf, args.threads_lowpower)
+                       args.threads_highperf, args.threads_lowpower,
+                       benchmarks=benchmarks)
     unique = len({spec.content_key() for spec in specs})
-    print(f"grid: {len(list_workloads())} benchmarks x 2 architectures "
+    print(f"grid: {len(benchmarks)} benchmarks x 2 architectures "
           f"-> {unique} unique experiments at scale {args.scale}")
 
     from repro.exp.hosts import parse_listen
@@ -126,6 +154,7 @@ def main(argv=None) -> int:
             listen_host=listen_host,
             listen_port=listen_port,
             compress=not args.no_compress,
+            batch=args.batch,
             store=multi_store,
         )
         started = time.monotonic()

@@ -20,7 +20,9 @@ execution backend explicitly (``async`` is the distributed asyncio
 supervisor over ``repro.exp.worker`` subprocesses, with heartbeats and
 retry on worker death; ``multihost`` fans workers out across machines),
 ``--hosts host1:4,host2:8 [--listen PORT]`` to shard a grid over a cluster
-of connect-back workers (local subprocesses or SSH), and
+of connect-back workers (local subprocesses or SSH),
+``--batch {N,adaptive[:N]}`` to pack several specs into one dispatch frame
+(amortising per-spec round-trips for sub-second experiments), and
 ``--cache-dir DIR`` to persist every result on disk, keyed by experiment
 content hash — re-running an unchanged grid is then a pure cache hit.
 ``$REPRO_CACHE_DIR`` provides a default cache directory.
@@ -97,6 +99,7 @@ def _backend_and_store(args: argparse.Namespace):
     backend = make_named_backend(
         args.backend, workers=workers, store=store,
         hosts=args.hosts, listen=args.listen, connect_host=args.connect_host,
+        batch=args.batch,
     )
     return backend, store
 
@@ -144,6 +147,12 @@ def _add_orchestrator_arguments(parser: argparse.ArgumentParser) -> None:
                         help="address remote workers dial back to (default: "
                              "127.0.0.1 for local hosts, this machine's "
                              "hostname for SSH hosts)")
+    parser.add_argument("--batch", default=None,
+                        help="specs per dispatch: N, 'adaptive' or "
+                             "'adaptive:N' (async/multihost send protocol-v3 "
+                             "run_batch frames, amortising per-spec "
+                             "round-trips; pool maps it onto chunksize; "
+                             "default: one spec at a time)")
 
 
 def build_parser() -> argparse.ArgumentParser:

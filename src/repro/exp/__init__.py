@@ -17,8 +17,10 @@ describes, schedules, executes and caches those experiments:
 * :mod:`repro.exp.distributed` — :class:`AsyncWorkerBackend`, an asyncio
   supervisor dispatching specs to ``repro.exp.worker`` subprocesses over a
   length-prefixed JSON frame protocol (:mod:`repro.exp.protocol`), with
-  heartbeats, bounded retry/requeue on worker death and graceful
-  cancellation,
+  heartbeats, bounded retry/requeue on worker death, graceful cancellation
+  and batched dispatch (``batch=``: several specs per protocol-v3
+  ``run_batch`` frame, per-spec result acks, adaptive sizing via
+  :class:`AdaptiveBatchSizer`),
 * :mod:`repro.exp.hosts` — :class:`MultiHostBackend`, the multi-host
   transport on top of it: a TCP listener (:class:`HostPool`) accepting
   connect-back workers launched locally or via SSH, per-host worker
@@ -55,7 +57,11 @@ from repro.exp.backends import (
     make_named_backend,
     run_experiments,
 )
-from repro.exp.distributed import AsyncWorkerBackend
+from repro.exp.distributed import (
+    AdaptiveBatchSizer,
+    AsyncWorkerBackend,
+    parse_batch,
+)
 from repro.exp.hosts import (
     HostPool,
     HostSpec,
@@ -81,6 +87,8 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "AsyncWorkerBackend",
+    "AdaptiveBatchSizer",
+    "parse_batch",
     "MultiHostBackend",
     "HostPool",
     "HostSpec",

@@ -30,6 +30,7 @@ count or completion order.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, List, Optional, Protocol, Sequence, Union
 
@@ -130,7 +131,10 @@ class ProcessPoolBackend:
         Size of the process pool; defaults to the host's CPU count.
     chunksize:
         Number of specs handed to a worker per dispatch; larger chunks
-        amortise IPC for big grids of small experiments.
+        amortise IPC for big grids of small experiments.  Per batch the
+        effective chunk is additionally capped at the workers' fair share
+        of the specs, so a large chunksize cannot serialise a small grid
+        onto a fraction of the pool.
     """
 
     def __init__(self, max_workers: Optional[int] = None, chunksize: int = 1) -> None:
@@ -147,10 +151,13 @@ class ProcessPoolBackend:
             return []
 
         def runner(unique_specs: List[ExperimentSpec]) -> List[Outcome]:
+            workers = self.max_workers or os.cpu_count() or 1
+            share = -(-len(unique_specs) // workers)  # ceil division
+            chunksize = max(1, min(self.chunksize, share))
             with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
                 return list(
                     pool.map(run_spec_outcome, unique_specs,
-                             chunksize=self.chunksize)
+                             chunksize=chunksize)
                 )
 
         return map_unique(specs, runner)
@@ -159,11 +166,15 @@ class ProcessPoolBackend:
         return _raise_on_failure(self.run_outcomes(specs))
 
 
-def make_backend(jobs: Optional[int]) -> ExecutionBackend:
-    """Backend for ``jobs`` parallel workers (``None``/``0``/``1`` = serial)."""
+def make_backend(jobs: Optional[int], chunksize: int = 1) -> ExecutionBackend:
+    """Backend for ``jobs`` parallel workers (``None``/``0``/``1`` = serial).
+
+    ``chunksize`` is forwarded to the pool (specs per dispatch); it has no
+    meaning for the serial fallback.
+    """
     if jobs is None or jobs <= 1:
         return SerialBackend()
-    return ProcessPoolBackend(max_workers=jobs)
+    return ProcessPoolBackend(max_workers=jobs, chunksize=chunksize)
 
 
 def make_named_backend(
@@ -173,6 +184,7 @@ def make_named_backend(
     hosts: Optional[str] = None,
     listen: Optional[str] = None,
     connect_host: Optional[str] = None,
+    batch: Union[None, int, str] = None,
 ) -> ExecutionBackend:
     """Backend selected by name: ``auto``, ``serial``, ``pool``, ``async``
     or ``multihost``.
@@ -186,7 +198,18 @@ def make_named_backend(
     (``"PORT"`` or ``"HOST:PORT"``).  For both, when ``store`` is an on-disk
     :class:`ResultStore` it is attached so completed experiments are
     streamed into it as they finish (and survive a cancelled run).
+
+    ``batch`` (``N``, ``"adaptive"`` or ``"adaptive:N"``) bounds how many
+    specs one dispatch carries.  For ``async``/``multihost`` it is the
+    protocol-level ``run_batch`` frame size (adaptive sizing grows it from 1
+    as specs prove cheap); for ``pool`` the cap maps onto the executor's
+    ``chunksize`` (its native amortisation knob, with no adaptivity); a
+    serial backend executes in-process, where there is no round-trip to
+    amortise, so the knob is accepted and ignored.
     """
+    from repro.exp.distributed import parse_batch
+
+    batch_cap, batch_adaptive = parse_batch(batch)  # validate for every name
     if name == "auto" and hosts:
         name = "multihost"
     if name != "multihost" and (hosts or listen or connect_host):
@@ -198,11 +221,11 @@ def make_named_backend(
             f"(got backend {name!r})"
         )
     if name == "auto":
-        return make_backend(workers)
+        return make_backend(workers, chunksize=batch_cap)
     if name == "serial":
-        return SerialBackend()
+        return SerialBackend()  # in-process: no round-trip, batch is moot
     if name == "pool":
-        return ProcessPoolBackend(max_workers=workers)
+        return ProcessPoolBackend(max_workers=workers, chunksize=batch_cap)
     streaming = store if isinstance(store, ResultStore) else None
     if name == "async":
         from repro.exp.distributed import AsyncWorkerBackend
@@ -210,7 +233,9 @@ def make_named_backend(
         # None defaults to 2; anything else (including 0) goes through the
         # backend's own validation instead of being silently reinterpreted.
         return AsyncWorkerBackend(
-            num_workers=2 if workers is None else workers, store=streaming
+            num_workers=2 if workers is None else workers,
+            batch=batch,
+            store=streaming,
         )
     if name == "multihost":
         from repro.exp.hosts import MultiHostBackend, parse_listen
@@ -226,6 +251,7 @@ def make_named_backend(
             listen_host=listen_host,
             listen_port=listen_port,
             connect_host=connect_host,
+            batch=batch,
             store=streaming,
         )
     raise ValueError(f"unknown backend {name!r} (choose from {BACKEND_NAMES})")

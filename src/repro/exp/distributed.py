@@ -33,12 +33,32 @@ Fault model
   processes remain, and — with a streaming ``store`` attached — every
   experiment that finished before the interrupt is already persisted.
 
+Batched dispatch
+----------------
+At cluster scale the sampled simulations themselves are cheap — TaskPoint's
+whole premise — so the per-spec dispatch round-trip becomes the bottleneck.
+``batch=`` bounds how many specs one dispatch frame may carry: a slot drains
+up to that many jobs from the queue (never blocking to fill a batch) and
+ships them in a single protocol-v3 ``run_batch`` frame; the worker answers
+each with its own ``result``/``error`` frame, in order, as it completes.
+Those per-spec answers double as acknowledgements: when a worker dies
+mid-batch, exactly the unacknowledged jobs are requeued and the acknowledged
+ones keep their outcomes, so nothing runs twice and the result store stays
+byte-identical to a serial run.  ``batch="adaptive"`` starts every batch at
+one spec and grows toward a cap based on the observed per-spec wall-time
+(:class:`AdaptiveBatchSizer`), so sub-second specs amortise round-trips
+while long specs keep one-spec retry granularity.  Workers that never
+advertised the ``batch`` hello capability (protocol <= 2 peers) are
+dispatched one ``run`` frame per spec, pipelined, so mixed fleets keep
+working.
+
 Determinism: results are collected by job index and returned in submission
 order, and the workers funnel through the same
 :func:`~repro.exp.runner.run_spec` as every other backend, so the output is
 bit-identical to :class:`~repro.exp.backends.SerialBackend` regardless of
-worker count, scheduling or retries (see ``tests/test_exp_distributed.py``
-and ``tests/test_exp_multihost.py``).
+worker count, batch size, scheduling or retries (see
+``tests/test_exp_distributed.py``, ``tests/test_exp_multihost.py`` and
+``tests/test_exp_batching.py``).
 """
 
 from __future__ import annotations
@@ -48,7 +68,17 @@ import os
 import signal
 import sys
 from pathlib import Path
-from typing import Awaitable, Callable, Coroutine, Dict, List, Optional, Sequence
+from typing import (
+    Awaitable,
+    Callable,
+    Coroutine,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.exp import protocol
 from repro.exp.backends import Outcome, Store, _raise_on_failure, map_unique
@@ -59,6 +89,96 @@ from repro.exp.spec import ExperimentFailure, ExperimentResult, ExperimentSpec
 #: before the heartbeat monitor may declare it wedged — interpreter startup
 #: plus importing the simulation stack can take seconds on a loaded host.
 _STARTUP_GRACE = 30.0
+
+#: Batch cap used when ``batch="adaptive"`` names no explicit cap.
+DEFAULT_BATCH_CAP = 16
+
+#: Adaptive sizing aims for batches of roughly this much work: sub-second
+#: specs are packed until a batch is worth a couple of seconds (amortising
+#: the dispatch round-trip), while specs at or above it stay unbatched so a
+#: worker death never forfeits more than one spec's worth of progress.
+ADAPTIVE_TARGET_SECONDS = 2.0
+
+
+def parse_batch(raw: "Union[None, int, str]") -> "tuple[int, bool]":
+    """Parse a batch knob into ``(cap, adaptive)``.
+
+    Accepts ``None``/``1`` (no batching — one spec per dispatch frame, the
+    historical behaviour), a positive integer (fixed batch size), or the
+    strings ``"adaptive"`` / ``"adaptive:CAP"`` (grow from 1 toward the cap
+    based on observed per-spec wall-time).
+    """
+    if raw is None:
+        return 1, False
+    if isinstance(raw, bool):  # bool is an int subclass; reject it explicitly
+        raise ValueError(f"invalid batch size {raw!r}")
+    if not isinstance(raw, int):
+        text = str(raw).strip()
+        if text.startswith("adaptive"):
+            name, sep, cap_text = text.partition(":")
+            try:
+                if name != "adaptive":
+                    raise ValueError(text)
+                cap = int(cap_text) if sep else DEFAULT_BATCH_CAP
+            except ValueError as exc:
+                raise ValueError(
+                    f"invalid batch spec {text!r} "
+                    "(expected N, 'adaptive' or 'adaptive:N')"
+                ) from exc
+            if cap < 1:
+                raise ValueError("adaptive batch cap must be >= 1")
+            return cap, True
+        try:
+            raw = int(text)
+        except ValueError as exc:
+            raise ValueError(
+                f"invalid batch spec {text!r} "
+                "(expected N, 'adaptive' or 'adaptive:N')"
+            ) from exc
+    if raw < 1:
+        raise ValueError("batch size must be >= 1")
+    return raw, False
+
+
+class AdaptiveBatchSizer:
+    """Grows the dispatch batch size from 1 toward a cap as specs prove cheap.
+
+    The sizer keeps an exponentially weighted mean of the observed per-spec
+    wall-time and targets batches worth :data:`ADAPTIVE_TARGET_SECONDS` of
+    work.  Growth is bounded to doubling per observation so a single
+    misleading sample cannot jump straight to the cap, while shrinking (specs
+    turned out slow) takes effect immediately — retry granularity is the
+    side that must never lag behind reality.
+    """
+
+    def __init__(
+        self,
+        cap: int = DEFAULT_BATCH_CAP,
+        target_seconds: float = ADAPTIVE_TARGET_SECONDS,
+    ) -> None:
+        if cap < 1:
+            raise ValueError("cap must be >= 1")
+        if target_seconds <= 0:
+            raise ValueError("target_seconds must be positive")
+        self.cap = cap
+        self.target_seconds = target_seconds
+        self._mean: Optional[float] = None
+        self._size = 1
+
+    @property
+    def size(self) -> int:
+        """Batch size the next dispatch should use."""
+        return self._size
+
+    def record(self, per_spec_seconds: float) -> None:
+        """Feed one observed per-spec wall-time into the sizer."""
+        per_spec_seconds = max(per_spec_seconds, 1e-6)
+        if self._mean is None:
+            self._mean = per_spec_seconds
+        else:
+            self._mean = 0.5 * self._mean + 0.5 * per_spec_seconds
+        ideal = int(self.target_seconds / self._mean)
+        self._size = max(1, min(self.cap, ideal, self._size * 2))
 
 
 class WorkerDied(RuntimeError):
@@ -123,6 +243,7 @@ class _Worker:
         host: Optional[str] = None,
         compress_out: bool = False,
         handshaked: bool = False,
+        hello: Optional[Dict[str, object]] = None,
     ) -> None:
         self.reader = reader
         self.writer = writer
@@ -136,10 +257,23 @@ class _Worker:
         self.spawned_at = asyncio.get_running_loop().time()
         self.last_seen = self.spawned_at
         self.handshaked = handshaked  # True once any frame (hello) arrived
+        #: The worker's ``hello`` frame (capabilities); set at construction
+        #: for connect-back workers (the acceptor consumed it) and by the
+        #: reader for pipe workers.  ``hello_seen`` is also set when the
+        #: worker dies hello-less, so nobody waits on a corpse.
+        self.hello: Dict[str, object] = dict(hello) if hello else {}
+        self.hello_seen = asyncio.Event()
+        if hello is not None:
+            self.hello_seen.set()
         self.pending: Dict[int, "asyncio.Future[Outcome]"] = {}
         self.completed = 0
         self.reader_task: Optional["asyncio.Task"] = None
         self.monitor_task: Optional["asyncio.Task"] = None
+
+    @property
+    def supports_batch(self) -> bool:
+        """Whether this worker's hello advertised ``run_batch`` support."""
+        return bool(self.hello.get("batch"))
 
     @classmethod
     def from_process(cls, proc: "asyncio.subprocess.Process") -> "_Worker":
@@ -162,12 +296,14 @@ class _Worker:
         wait_process: Callable[[], Awaitable[object]],
         host: str,
         compress_out: bool = False,
+        hello: Optional[Dict[str, object]] = None,
     ) -> "_Worker":
         """Worker over an accepted connect-back TCP stream pair.
 
-        The hello frame was already consumed by the acceptor, so the worker
-        starts handshaked: heartbeat staleness applies immediately instead of
-        the startup grace.
+        The hello frame was already consumed by the acceptor (and is passed
+        in here, carrying the worker's capabilities), so the worker starts
+        handshaked: heartbeat staleness applies immediately instead of the
+        startup grace.
         """
         return cls(
             reader=reader,
@@ -178,6 +314,7 @@ class _Worker:
             host=host,
             compress_out=compress_out,
             handshaked=True,
+            hello=hello if hello is not None else {},
         )
 
     # ------------------------------------------------------------------
@@ -231,6 +368,13 @@ class AsyncWorkerBackend:
     spawn_retries:
         Consecutive worker deaths (without a completed job in between) a
         slot tolerates before giving up.
+    batch:
+        Specs per dispatch frame: ``None``/``1`` (default, one spec at a
+        time), a fixed size ``N``, or ``"adaptive"`` / ``"adaptive:N"``
+        (grow from 1 toward the cap as observed per-spec wall-times prove
+        cheap).  Batches are drained from the queue without blocking — a
+        slot never waits for a batch to fill — and a worker death requeues
+        only the batch's unacknowledged specs.
     store:
         Optional result store (on-disk or in-memory) that completed
         experiments are streamed into as they finish (via
@@ -256,6 +400,7 @@ class AsyncWorkerBackend:
         heartbeat_interval: float = 5.0,
         heartbeat_timeout: Optional[float] = None,
         spawn_retries: int = 2,
+        batch: Union[None, int, str] = None,
         store: Optional[Store] = None,
         worker_env: Optional[Dict[str, str]] = None,
         python: Optional[str] = None,
@@ -279,12 +424,15 @@ class AsyncWorkerBackend:
             else 4.0 * heartbeat_interval
         )
         self.spawn_retries = spawn_retries
+        self.batch_cap, self.batch_adaptive = parse_batch(batch)
         self.store = store
         self.worker_env = dict(worker_env) if worker_env else {}
         self.python = python
         self.stats: Dict[str, int] = {}
         self._pids: set = set()
         self._workers: List[_Worker] = []
+        self._sizer: Optional[AdaptiveBatchSizer] = None
+        self._live_slots = 0
 
     # ------------------------------------------------------------------
     def active_pids(self) -> List[int]:
@@ -336,7 +484,7 @@ class AsyncWorkerBackend:
 
     def _register_worker(self, worker: _Worker) -> None:
         """Track a freshly acquired worker and start its reader + monitor."""
-        self.stats["spawns"] = self.stats.get("spawns", 0) + 1
+        self._count("spawns")
         self._pids.add(worker.pid)
         self._workers.append(worker)
         worker.reader_task = asyncio.ensure_future(self._read_worker(worker))
@@ -357,7 +505,10 @@ class AsyncWorkerBackend:
                 worker.last_seen = loop.time()
                 worker.handshaked = True
                 kind = message.get("type")
-                if kind in ("result", "error"):
+                if kind == "hello":
+                    worker.hello = message
+                    worker.hello_seen.set()
+                elif kind in ("result", "error"):
                     future = worker.pending.get(message.get("job"))
                     if future is not None and not future.done():
                         if kind == "result":
@@ -388,6 +539,7 @@ class AsyncWorkerBackend:
             worker.kill()
         finally:
             self._release_worker(worker)
+            worker.hello_seen.set()  # a dead worker's capabilities are moot
             for future in list(worker.pending.values()):
                 if not future.done():
                     future.set_exception(
@@ -413,9 +565,7 @@ class AsyncWorkerBackend:
                     > max(self.heartbeat_timeout, _STARTUP_GRACE)
                 )
             if silent:
-                self.stats["heartbeat_kills"] = (
-                    self.stats.get("heartbeat_kills", 0) + 1
-                )
+                self._count("heartbeat_kills")
                 worker.kill()
                 return  # the reader's EOF turns this into the death path
             if not worker.handshaked:
@@ -426,17 +576,131 @@ class AsyncWorkerBackend:
             except WorkerDied:
                 return
 
-    async def _execute(self, worker: _Worker, job: _Job) -> Outcome:
-        """Dispatch one job to a live worker and await its answer."""
-        future: "asyncio.Future[Outcome]" = asyncio.get_running_loop().create_future()
-        worker.pending[job.index] = future
+    def _batch_limit(self, available: int) -> int:
+        """How many of the ``available`` jobs the next dispatch may carry.
+
+        The configured batch size (or the adaptive sizer's current one) is
+        additionally capped at this slot's fair share of the remaining
+        work: amortisation must not cost parallelism, and without the cap a
+        fixed ``--batch 16`` on a 20-spec grid would let the first slot
+        swallow 16 specs while its siblings idle.
+        """
+        limit = self._sizer.size if self._sizer is not None else self.batch_cap
+        if limit <= 1:
+            return 1
+        # Divide among the slots still running, not the configured total:
+        # retired slots (quarantined hosts, crash-looped spawns) must not
+        # shrink the survivors' batches for the rest of the run.
+        slots = self._live_slots or self.num_workers
+        share = -(-available // max(1, slots))  # ceil division
+        return max(1, min(limit, share))
+
+    def _count(self, key: str, value: int = 1) -> None:
+        self.stats[key] = self.stats.get(key, 0) + value
+
+    async def _execute_batch(
+        self,
+        worker: _Worker,
+        jobs: List[_Job],
+        finish: Callable[[_Job, Outcome], None],
+        host,
+    ) -> "Tuple[List[_Job], bool]":
+        """Dispatch ``jobs`` to one live worker; ``(died_jobs, any_completed)``.
+
+        A multi-job dispatch goes out as a single ``run_batch`` frame when
+        the worker's hello advertised the capability, and as pipelined
+        per-spec ``run`` frames otherwise (old peers answer those in order
+        just the same).  Either way the worker's per-spec ``result``/
+        ``error`` frames are the acknowledgements, and each job is
+        ``finish``\\ ed — persisted, when a streaming store is attached —
+        *the moment its answer arrives*, not when the batch completes: a
+        cancellation (SIGINT) mid-batch therefore keeps every acknowledged
+        result, exactly as unbatched dispatch would.  Jobs whose answer
+        never arrives before the worker dies are returned for the caller to
+        requeue, in dispatch order (the first was the one executing).
+        """
+        loop = asyncio.get_running_loop()
+        if len(jobs) > 1 and not worker.hello_seen.is_set():
+            # The framing choice needs the worker's capabilities.  A healthy
+            # worker's hello is its very first frame, so this wait is brief;
+            # on timeout fall back to per-spec frames, which any peer
+            # understands (and a dead worker fails the sends below).
+            try:
+                await asyncio.wait_for(worker.hello_seen.wait(), _STARTUP_GRACE)
+            except asyncio.TimeoutError:
+                pass
+        futures: "List[asyncio.Future[Outcome]]" = []
+        for job in jobs:
+            future: "asyncio.Future[Outcome]" = loop.create_future()
+            worker.pending[job.index] = future
+            futures.append(future)
+        died: List[_Job] = []
+        completed = 0
+        started = loop.time()
         try:
-            await worker.send(
-                {"type": "run", "job": job.index, "spec": job.spec.to_dict()}
-            )
-            return await future
+            try:
+                if len(jobs) > 1 and worker.supports_batch:
+                    await worker.send({
+                        "type": "run_batch",
+                        "jobs": [
+                            {"job": job.index, "spec": job.spec.to_dict()}
+                            for job in jobs
+                        ],
+                    })
+                    self._count("dispatch_frames")
+                    self._count("batch_frames")
+                else:
+                    for job in jobs:
+                        await worker.send({
+                            "type": "run",
+                            "job": job.index,
+                            "spec": job.spec.to_dict(),
+                        })
+                        self._count("dispatch_frames")
+                self.stats["max_batch"] = max(
+                    self.stats.get("max_batch", 0), len(jobs)
+                )
+            except WorkerDied as lost:
+                # The pipe broke mid-send.  The worker may have answered
+                # earlier jobs of this dispatch before dying, and those
+                # result frames can still sit unparsed in the reader's
+                # buffer — let the reader drain to EOF first (its exit
+                # handler fails whatever stays pending), so acknowledged
+                # specs keep their outcomes instead of being re-executed.
+                worker.kill()
+                if worker.reader_task is not None:
+                    try:
+                        await asyncio.wait_for(
+                            asyncio.shield(worker.reader_task), timeout=5.0
+                        )
+                    except asyncio.TimeoutError:
+                        pass
+                # Backstop for futures the reader no longer covers (its
+                # cleanup may have run before they were registered).
+                for future in futures:
+                    if not future.done():
+                        future.set_exception(
+                            WorkerDied(f"worker {worker.pid} died: {lost}")
+                        )
+            for job, future in zip(jobs, futures):
+                try:
+                    outcome = await future
+                except WorkerDied:
+                    died.append(job)
+                    continue
+                completed += 1
+                worker.completed += 1
+                if host is not None:
+                    host.record_success()
+                if isinstance(outcome, ExperimentFailure):
+                    outcome.attempts = job.attempts + 1
+                finish(job, outcome)
         finally:
-            worker.pending.pop(job.index, None)
+            for job in jobs:
+                worker.pending.pop(job.index, None)
+            if self._sizer is not None and completed:
+                self._sizer.record((loop.time() - started) / completed)
+        return died, completed > 0
 
     async def _worker_slot(
         self,
@@ -455,12 +719,38 @@ class AsyncWorkerBackend:
         the remaining hosts drain the queue.
         """
         spawn = spawn if spawn is not None else self._spawn_worker
+        try:
+            await self._dispatch_loop(queue, finish, spawn, host)
+        finally:
+            # However this slot ends (retirement, give-up, cancellation),
+            # the fair-share denominator follows the surviving slots.
+            self._live_slots = max(0, self._live_slots - 1)
+
+    async def _dispatch_loop(
+        self,
+        queue: "asyncio.Queue[_Job]",
+        finish: Callable[[_Job, Outcome], None],
+        spawn: Callable[[], Awaitable[_Worker]],
+        host,
+    ) -> None:
+        """The body of one slot: spawn, dispatch batches, handle deaths."""
         worker: Optional[_Worker] = None
         consecutive_deaths = 0
         while True:
             job = await queue.get()
+            jobs = [job]
+            # Opportunistic batching: drain whatever is already waiting, up
+            # to the batch limit, without ever blocking to fill a batch — an
+            # emptying queue degrades gracefully to one-spec dispatches.
+            limit = self._batch_limit(queue.qsize() + 1)
+            while len(jobs) < limit:
+                try:
+                    jobs.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
             if host is not None and host.quarantined:
-                queue.put_nowait(job)
+                for requeued in jobs:
+                    queue.put_nowait(requeued)
                 # A sibling slot's deaths quarantined the host while this
                 # slot's worker was healthy and idle: ask it to exit now
                 # rather than hold a process (or SSH channel) until the end
@@ -473,7 +763,8 @@ class AsyncWorkerBackend:
                     worker = await spawn()
                 except (OSError, ValueError) as exc:
                     consecutive_deaths += 1
-                    queue.put_nowait(job)  # spawn failure is not the job's fault
+                    for requeued in jobs:  # spawn failure is not the jobs' fault
+                        queue.put_nowait(requeued)
                     if self._record_host_death(host):
                         return
                     if consecutive_deaths > self.spawn_retries:
@@ -481,49 +772,61 @@ class AsyncWorkerBackend:
                     await asyncio.sleep(0.05 * consecutive_deaths)
                     continue
             try:
-                outcome = await self._execute(worker, job)
-            except WorkerDied:
-                self.stats["worker_deaths"] = self.stats.get("worker_deaths", 0) + 1
-                consecutive_deaths += 1
-                worker = None
-                job.attempts += 1
-                if job.attempts > self.max_retries:
-                    finish(job, ExperimentFailure(
-                        spec_key=job.key,
+                died, completed_any = await self._execute_batch(
+                    worker, jobs, finish, host
+                )
+            except Exception as exc:  # supervisor bug: fail the jobs, stay live
+                # Jobs already finished before the exception are protected
+                # by finish()'s exactly-once guard.  Unserialisable specs
+                # cannot land here (content_key() JSON-dumped every spec
+                # before it became a job), so this is a genuine-bug backstop
+                # where failing the batch beats requeueing it forever.
+                for failed in jobs:
+                    finish(failed, ExperimentFailure.from_exception(failed.key, exc))
+                continue
+            if completed_any:
+                consecutive_deaths = 0
+            if not died:
+                continue
+            # One worker death, however many unacknowledged jobs it held:
+            # host/slot health accounting counts processes, not specs.
+            self._count("worker_deaths")
+            consecutive_deaths += 1
+            worker = None
+            # Jobs execute and are acknowledged in dispatch order, so only
+            # the *first* unacknowledged job can have been executing when
+            # the worker died — it alone consumes retry budget.  The rest
+            # of the tail was merely co-batched (possibly never even sent)
+            # and requeues with its budget intact, so a poisonous spec
+            # cannot burn its batch-mates' max_retries from the head of
+            # the queue.
+            for position, lost in enumerate(died):
+                if position == 0:
+                    lost.attempts += 1
+                if lost.attempts > self.max_retries:
+                    finish(lost, ExperimentFailure(
+                        spec_key=lost.key,
                         error_type="WorkerDied",
                         message=(
-                            f"worker died {job.attempts} time(s) while running "
-                            f"{job.spec.label()}"
+                            f"worker died {lost.attempts} time(s) while running "
+                            f"{lost.spec.label()}"
                         ),
-                        attempts=job.attempts,
+                        attempts=lost.attempts,
                     ))
                 else:
-                    self.stats["requeues"] = self.stats.get("requeues", 0) + 1
-                    queue.put_nowait(job)
-                if self._record_host_death(host):
-                    return
-                if consecutive_deaths > self.spawn_retries:
-                    return  # crash-looping; let the remaining slots (if any) work
-                continue
-            except Exception as exc:  # supervisor bug: fail the job, stay live
-                finish(job, ExperimentFailure.from_exception(job.key, exc))
-                continue
-            consecutive_deaths = 0
-            worker.completed += 1
-            if host is not None:
-                host.record_success()
-            if isinstance(outcome, ExperimentFailure):
-                outcome.attempts = job.attempts + 1
-            finish(job, outcome)
+                    self._count("requeues")
+                    queue.put_nowait(lost)
+            if self._record_host_death(host):
+                return
+            if consecutive_deaths > self.spawn_retries:
+                return  # crash-looping; let the remaining slots (if any) work
 
     def _record_host_death(self, host) -> bool:
         """Feed one worker death into ``host``; True when the slot must retire."""
         if host is None:
             return False
         if host.record_death():
-            self.stats["hosts_quarantined"] = (
-                self.stats.get("hosts_quarantined", 0) + 1
-            )
+            self._count("hosts_quarantined")
         return host.quarantined
 
     # ------------------------------------------------------------------
@@ -546,13 +849,21 @@ class AsyncWorkerBackend:
         ]
 
     async def _shutdown_workers(self) -> None:
-        """Terminate and reap every live worker; tolerate cancellation."""
+        """Terminate and reap every live worker; tolerate cancellation.
+
+        The reader tasks are deliberately left running until each worker is
+        reaped: a worker holding a deep batch may have many unread result
+        frames in flight, and with nobody consuming them the stream's flow
+        control pauses the pipe transport before its EOF — after which the
+        process's ``wait()`` can never resolve.  The readers drain those
+        frames (harmlessly: the futures are already settled) and see the
+        EOF that lets the transport close.
+        """
         workers = list(self._workers)
         for worker in workers:
             worker.alive = False
-            for task in (worker.reader_task, worker.monitor_task):
-                if task is not None:
-                    task.cancel()
+            if worker.monitor_task is not None:
+                worker.monitor_task.cancel()
             worker.close_gracefully()
         for worker in workers:
             try:
@@ -560,10 +871,14 @@ class AsyncWorkerBackend:
             except BaseException:
                 worker.kill()
                 try:
-                    await worker.wait()
+                    # Bounded: a SIGKILLed worker's EOF arrives promptly,
+                    # but an unreachable transport must not wedge shutdown.
+                    await asyncio.wait_for(worker.wait(), timeout=5.0)
                 except BaseException:
                     pass
             self._pids.discard(worker.pid)
+            if worker.reader_task is not None:
+                worker.reader_task.cancel()  # EOF normally ended it already
         self._workers = [w for w in self._workers if w not in workers]
 
     async def _supervise(self, specs: Sequence[ExperimentSpec]) -> List[Outcome]:
@@ -572,6 +887,10 @@ class AsyncWorkerBackend:
         self.stats = {}
         self._workers = []
         self._pids = set()
+        self._sizer = (
+            AdaptiveBatchSizer(self.batch_cap) if self.batch_adaptive else None
+        )
+        self._live_slots = 0
 
         queue: "asyncio.Queue[_Job]" = asyncio.Queue()
         jobs = [
@@ -592,7 +911,7 @@ class AsyncWorkerBackend:
                 return  # defensive: a job finishes exactly once
             outcomes[job.index] = outcome
             remaining -= 1
-            self.stats["finished_jobs"] = self.stats.get("finished_jobs", 0) + 1
+            self._count("finished_jobs")
             # Streaming is best-effort durability: no store problem may wedge
             # the supervisor (done must always be reachable), and the caller
             # still holds every outcome in memory either way.
@@ -663,6 +982,7 @@ class AsyncWorkerBackend:
                 asyncio.ensure_future(coroutine)
                 for coroutine in self._slot_coroutines(queue, finish, len(jobs))
             )
+            self._live_slots = len(slots)
             for slot in slots:
                 slot.add_done_callback(on_slot_done)
             await done.wait()

@@ -573,6 +573,7 @@ class MultiHostBackend(AsyncWorkerBackend):
             wait_process=handle.wait,
             host=host.name,
             compress_out=compress_frames,
+            hello=hello,
         )
         self._register_worker(worker)
         host.spawns += 1

@@ -22,12 +22,28 @@ advertises ``"compress": true`` in its ``hello`` and the supervisor's
 ``hello_ack`` answers with the negotiated setting, so a peer that predates
 this feature simply never receives a compressed frame.
 
+Batching
+--------
+Protocol version 3 adds *batched dispatch*: a ``run_batch`` frame carries N
+jobs in one frame, and the worker answers each job with its own ``result`` or
+``error`` frame, in batch order, as it completes.  Those per-job answers
+double as **acknowledgements** — a supervisor whose worker dies mid-batch
+requeues exactly the jobs whose answer never arrived, so an acknowledged spec
+is never executed twice.  The capability is negotiated through the worker's
+``hello``: only a worker that advertised ``"batch": true`` is ever sent a
+``run_batch`` frame, and a version-2 peer simply keeps receiving one ``run``
+frame per spec.
+
 Frame types
 -----------
 Supervisor to worker:
 
 * ``{"type": "run", "job": <int>, "spec": <ExperimentSpec.to_dict()>}`` —
   execute one experiment; exactly one ``result``/``error`` frame answers it.
+* ``{"type": "run_batch", "jobs": [{"job": <int>, "spec": <...>}, ...]}`` —
+  execute N experiments in order; each is answered by its own
+  ``result``/``error`` frame (protocol >= 3, and only after the worker's
+  ``hello`` advertised ``"batch": true``).
 * ``{"type": "ping", "seq": <int>}`` — heartbeat probe; answered immediately
   by the worker's reader thread even while a simulation is running.
 * ``{"type": "hello_ack", "compress": <bool>}`` — answers a connect-back
@@ -38,10 +54,12 @@ Supervisor to worker:
 
 Worker to supervisor:
 
-* ``{"type": "hello", "pid": <int>, "protocol": <int>,
-  "compress": <bool>[, "token": <str>]}`` — sent once on startup.  The
+* ``{"type": "hello", "pid": <int>, "protocol": <int>, "compress": <bool>,
+  "batch": <bool>[, "token": <str>]}`` — sent once on startup.  The
   ``token`` echoes ``--token`` and lets a multi-host supervisor match the
-  inbound TCP connection to the launch that created it.
+  inbound TCP connection to the launch that created it; ``batch`` advertises
+  ``run_batch`` support (absent on version-2 peers, which therefore keep
+  being dispatched one spec per frame).
 * ``{"type": "result", "job": <int>, "result": <ExperimentResult.to_dict()>}``
 * ``{"type": "error", "job": <int>, "error": <ExperimentFailure.to_dict()>}``
   — the spec raised; the worker stays alive and takes the next job.
@@ -59,7 +77,10 @@ from typing import BinaryIO, Dict, Optional
 #: incompatible change to the frame vocabulary above.  Version 2 added the
 #: compressed-frame header bit and the ``hello_ack`` negotiation (both
 #: backward compatible: uncompressed frames are unchanged on the wire).
-PROTOCOL_VERSION = 2
+#: Version 3 added the ``run_batch`` frame and the ``batch`` hello
+#: capability (backward compatible: the frame is only sent to workers that
+#: advertised it).
+PROTOCOL_VERSION = 3
 
 #: Upper bound on a single frame payload (compressed or decompressed); a
 #: frame header exceeding it means the stream is desynchronised (or hostile)

@@ -95,8 +95,14 @@ class MemoryResultStore:
         self._failures.pop(key, None)
 
     def put_if_absent(self, spec: ExperimentSpec, result: ExperimentResult) -> bool:
-        """Cache ``result`` unless the key is present; ``True`` if written."""
-        if spec.content_key() in self._results:
+        """Cache ``result`` unless the key is present; ``True`` if written.
+
+        Either way the spec is now known to succeed, so any stale failure
+        record from an earlier attempt is dropped.
+        """
+        key = spec.content_key()
+        if key in self._results:
+            self._failures.pop(key, None)
             return False
         self.put(spec, result)
         return True
@@ -264,6 +270,12 @@ class ResultStore:
         entry (which :meth:`get` treats as a miss) counts as absent and is
         replaced, so the store never wedges on a damaged file; entries in the
         legacy flat layout count as present.
+
+        The spec's stale ``<key>.error.json`` diagnostic (if any) is removed
+        on *both* paths: the spec demonstrably succeeds now, and without the
+        clean-up a spec that failed once — and was then recomputed by a
+        sibling writer that won the race — would advertise its old failure
+        forever next to a perfectly valid entry.
         """
         key = spec.content_key()
         path = self._path(spec)
@@ -271,6 +283,7 @@ class ResultStore:
             if self._entry_is_valid(path) or self._entry_is_valid(
                 self._legacy_path(spec)
             ):
+                self._failure_path(spec).unlink(missing_ok=True)
                 return False
             self._write_atomically(path, _normalised_payload(spec, result))
             self._failure_path(spec).unlink(missing_ok=True)

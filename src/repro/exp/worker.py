@@ -17,7 +17,8 @@ Two threads cooperate:
   ``pong`` immediately — even while a simulation is running, so supervisor
   heartbeats measure process liveness rather than job length — ``hello_ack``
   records whether the supervisor negotiated compressed frames, ``run`` jobs
-  are handed to the main thread and ``shutdown``/EOF ends the process;
+  (and the jobs of a ``run_batch`` frame, unpacked in order) are handed to
+  the main thread and ``shutdown``/EOF ends the process;
 * the **main thread** executes jobs one at a time through
   :func:`repro.exp.runner.run_spec` (sharing its per-process trace memo, so a
   worker that receives many specs of one benchmark generates the trace once)
@@ -36,6 +37,20 @@ prefix.  In the default (die-once) mode the flag file is created first with
 requeue path.  With mode ``always`` every worker holding a matching spec
 dies every time (the flag file is still touched, without exclusivity) — the
 crash-looping-host path that exercises quarantine.
+
+Three more test/benchmark-only hooks share that spirit:
+
+* ``REPRO_EXP_WORKER_EXECLOG=<path>`` appends one ``<content-key>`` line to
+  the file whenever a spec *starts executing* (``O_APPEND``, so concurrent
+  workers interleave whole lines).  The batching suite counts these lines to
+  prove that acknowledged specs are never executed twice.
+* ``REPRO_EXP_WORKER_DELAY=<seconds>`` sleeps before every frame write and
+  after every frame read — a simulated per-frame link latency, which is what
+  makes round-trip amortisation measurable on a loopback pipe.
+* ``REPRO_EXP_WORKER_COMPAT=<version>`` caps the protocol version the worker
+  speaks: ``2`` makes it behave as a pre-batching peer (no ``batch``
+  capability in the hello, ``run_batch`` frames ignored), which is how the
+  negotiation-fallback tests fake an old worker without keeping one around.
 """
 
 from __future__ import annotations
@@ -57,6 +72,15 @@ from repro.exp.spec import ExperimentFailure, ExperimentSpec
 #: Test-only fault hook; see the module docstring.
 FAULT_ENV = "REPRO_EXP_WORKER_FAULT"
 
+#: Test-only execution-count probe; see the module docstring.
+EXEC_LOG_ENV = "REPRO_EXP_WORKER_EXECLOG"
+
+#: Test/benchmark-only simulated per-frame link latency (seconds).
+DELAY_ENV = "REPRO_EXP_WORKER_DELAY"
+
+#: Test-only protocol downgrade (fake an old peer); see the module docstring.
+COMPAT_ENV = "REPRO_EXP_WORKER_COMPAT"
+
 #: Default bounded-retry budget for ``--connect`` (first attempt excluded).
 DEFAULT_CONNECT_RETRIES = 12
 
@@ -75,14 +99,47 @@ class _FrameWriter:
     is processed before any job whose answer could be compressed.
     """
 
-    def __init__(self, stream: BinaryIO) -> None:
+    def __init__(self, stream: BinaryIO, delay: float = 0.0) -> None:
         self._stream = stream
         self._lock = threading.Lock()
+        self._delay = delay
         self.compress = False
 
     def send(self, message: Dict[str, object]) -> None:
         with self._lock:
+            if self._delay:
+                time.sleep(self._delay)
             protocol.write_frame(self._stream, message, compress=self.compress)
+
+
+def _frame_delay() -> float:
+    """Simulated per-frame link latency (0 outside tests/benchmarks)."""
+    try:
+        return max(0.0, float(os.environ.get(DELAY_ENV, "") or 0.0))
+    except ValueError:
+        return 0.0
+
+
+def _protocol_version() -> int:
+    """Protocol version to speak (capped by the compat downgrade hook)."""
+    raw = os.environ.get(COMPAT_ENV)
+    try:
+        capped = int(raw) if raw else protocol.PROTOCOL_VERSION
+    except ValueError:
+        return protocol.PROTOCOL_VERSION
+    return min(max(capped, 1), protocol.PROTOCOL_VERSION)
+
+
+def _log_execution(spec_key: str) -> None:
+    """Append one started-execution line to the probe file, if configured."""
+    path = os.environ.get(EXEC_LOG_ENV)
+    if not path:
+        return
+    fd = os.open(path, os.O_CREAT | os.O_APPEND | os.O_WRONLY, 0o644)
+    try:
+        os.write(fd, (spec_key + "\n").encode("utf-8"))
+    finally:
+        os.close(fd)
 
 
 def _maybe_inject_fault(spec_key: str) -> None:
@@ -111,17 +168,25 @@ def serve(
     token: Optional[str] = None,
 ) -> None:
     """Serve the worker protocol until ``shutdown`` or EOF."""
-    out = _FrameWriter(writer_stream)
+    version = _protocol_version()
+    delay = _frame_delay()
+    out = _FrameWriter(writer_stream, delay=delay)
     hello: Dict[str, object] = {
         "type": "hello",
         "pid": os.getpid(),
-        "protocol": protocol.PROTOCOL_VERSION,
+        "protocol": version,
         "compress": True,
     }
+    if version >= 3:
+        hello["batch"] = True
     if token is not None:
         hello["token"] = token
     out.send(hello)
     jobs: "queue.Queue[Optional[Dict[str, object]]]" = queue.Queue()
+    # Set on shutdown/EOF: the main thread stops *before* the next job, so
+    # a worker holding a deep run_batch queue exits after the job in hand
+    # instead of grinding through work whose answers nobody wants anymore.
+    closing = threading.Event()
 
     def read_loop() -> None:
         while True:
@@ -130,8 +195,11 @@ def serve(
             except (protocol.ProtocolError, OSError):
                 message = None
             if message is None:  # EOF or torn stream: drain and exit
+                closing.set()
                 jobs.put(None)
                 return
+            if delay:
+                time.sleep(delay)
             kind = message.get("type")
             if kind == "ping":
                 try:
@@ -141,9 +209,19 @@ def serve(
                     return
             elif kind == "run":
                 jobs.put(message)
+            elif kind == "run_batch" and version >= 3:
+                # One queue entry per job, in batch order; the main thread
+                # answers each with its own result/error frame, which is
+                # what lets the supervisor requeue only unacknowledged
+                # specs when this process dies mid-batch.
+                for entry in message.get("jobs") or []:
+                    if isinstance(entry, dict):
+                        jobs.put({"job": entry.get("job"),
+                                  "spec": entry.get("spec")})
             elif kind == "hello_ack":
                 out.compress = bool(message.get("compress"))
             elif kind == "shutdown":
+                closing.set()
                 jobs.put(None)
                 return
             # unknown frame types are ignored (forward compatibility)
@@ -151,13 +229,14 @@ def serve(
     threading.Thread(target=read_loop, daemon=True).start()
     while True:
         job = jobs.get()
-        if job is None:
+        if job is None or closing.is_set():
             return
         job_id = job.get("job")
         spec_key = ""
         try:
             spec = ExperimentSpec.from_dict(job["spec"])
             spec_key = spec.content_key()
+            _log_execution(spec_key)
             _maybe_inject_fault(spec_key)
             result = run_spec(spec)
             out.send({"type": "result", "job": job_id, "result": result.to_dict()})

@@ -1,0 +1,35 @@
+"""Shared helpers for the ``repro.exp`` test suites.
+
+These two helpers define the repository's *byte-identity convention* — what
+"the same results" means across backends, batch sizes, hosts and hash seeds —
+so they live in exactly one place:
+
+* :func:`deterministic_fields` — a result payload minus host wall-clock time
+  (the only field that legitimately differs between runs);
+* :func:`store_result_bytes` — the raw bytes of every *result* entry of an
+  on-disk :class:`~repro.exp.store.ResultStore`.  Failure diagnostics
+  (``*.error.json``) are excluded: they embed tracebacks, which legitimately
+  differ between an in-process raise and a worker-side raise.
+
+Importable as ``from exp_helpers import ...`` because pytest puts this
+directory on ``sys.path`` for the suites here (there is no ``__init__.py``).
+"""
+
+import pathlib
+
+
+def deterministic_fields(result):
+    """Result payload minus host wall-clock time (the only noisy field)."""
+    payload = result.to_dict()
+    payload.pop("wall_seconds")
+    return payload
+
+
+def store_result_bytes(directory):
+    """Relative path -> bytes for every *result* entry (errors excluded)."""
+    root = pathlib.Path(directory)
+    return {
+        str(path.relative_to(root)): path.read_bytes()
+        for path in root.rglob("*.json")
+        if not path.name.startswith(".") and not path.name.endswith(".error.json")
+    }

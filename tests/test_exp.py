@@ -25,6 +25,8 @@ from repro.exp import (
 )
 from repro.workloads.registry import get_workload
 
+from exp_helpers import deterministic_fields
+
 SCALE = 0.004
 
 
@@ -33,13 +35,6 @@ def small_spec(benchmark="swaptions", threads=2, config=lazy_config(), **kwargs)
         benchmark=benchmark, num_threads=threads, scale=SCALE, trace_seed=1,
         config=config, **kwargs,
     )
-
-
-def deterministic_fields(result):
-    """Result payload minus host wall-clock time (the only noisy field)."""
-    payload = result.to_dict()
-    payload.pop("wall_seconds")
-    return payload
 
 
 class CountingBackend:
@@ -380,6 +375,52 @@ class TestResultStore:
         store.put(spec, run_spec(spec))
         assert store.clear() == 1
         assert len(store) == 0
+
+    def _failure(self, spec):
+        return ExperimentFailure(
+            spec_key=spec.content_key(), error_type="RuntimeError",
+            message="transient breakage",
+        )
+
+    def test_put_removes_stale_failure_record(self, tmp_path):
+        # Regression: a spec that failed once left its <key>.error.json
+        # behind forever, even after a later run succeeded and stored the
+        # real entry — every successful write must clear the diagnostic.
+        store = ResultStore(tmp_path)
+        spec = small_spec()
+        store.record_failure(spec, self._failure(spec))
+        assert store.get_failure(spec) is not None
+        store.put(spec, run_spec(spec))
+        assert store.get_failure(spec) is None
+        key = spec.content_key()
+        assert not (tmp_path / ResultStore.shard(key)
+                    / f"{key}.error.json").exists()
+        assert store.get(spec) is not None
+
+    def test_put_if_absent_removes_stale_failure_record(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = small_spec()
+        result = run_spec(spec)
+        store.record_failure(spec, self._failure(spec))
+        assert store.put_if_absent(spec, result) is True
+        assert store.get_failure(spec) is None
+        # The subtler residue path: the entry already exists (a sibling
+        # writer won the race), a stale diagnostic appears afterwards, and
+        # the losing put_if_absent must still clean it up on its False path.
+        store.record_failure(spec, self._failure(spec))
+        assert store.put_if_absent(spec, result) is False
+        assert store.get_failure(spec) is None
+
+    def test_memory_store_put_if_absent_removes_stale_failure(self):
+        store = MemoryResultStore()
+        spec = small_spec()
+        result = run_spec(spec)
+        store.record_failure(spec, self._failure(spec))
+        assert store.put_if_absent(spec, result) is True
+        assert store.get_failure(spec) is None
+        store.record_failure(spec, self._failure(spec))
+        assert store.put_if_absent(spec, result) is False
+        assert store.get_failure(spec) is None
 
 
 class TestCrossProcessDeterminism:

@@ -38,6 +38,8 @@ from repro.exp import (
 from repro.exp import protocol
 from repro.exp.worker import FAULT_ENV
 
+from exp_helpers import deterministic_fields, store_result_bytes
+
 try:
     from hypothesis import HealthCheck, given, settings
     from hypothesis import strategies as st
@@ -73,27 +75,6 @@ def small_grid():
     )
     specs.extend([resampling, resampling.baseline()])
     return specs
-
-
-def deterministic_fields(result):
-    payload = result.to_dict()
-    payload.pop("wall_seconds")
-    return payload
-
-
-def store_result_bytes(directory):
-    """Map of relative path -> bytes for every *result* entry of a store.
-
-    Failure diagnostics (``*.error.json``) are excluded: they embed
-    tracebacks, which legitimately differ between an in-process raise and a
-    worker-side raise.  Result entries must be byte-identical everywhere.
-    """
-    root = pathlib.Path(directory)
-    return {
-        str(path.relative_to(root)): path.read_bytes()
-        for path in root.rglob("*.json")
-        if not path.name.startswith(".") and not path.name.endswith(".error.json")
-    }
 
 
 def fast_backend(**kwargs):

@@ -45,6 +45,8 @@ from repro.exp import protocol
 from repro.exp.hosts import HostPool
 from repro.exp.worker import FAULT_ENV
 
+from exp_helpers import deterministic_fields, store_result_bytes
+
 try:
     from hypothesis import HealthCheck, given, settings
     from hypothesis import strategies as st
@@ -70,22 +72,6 @@ def small_grid():
             spec = small_spec(benchmark=benchmark, threads=threads)
             specs.extend([spec, spec.baseline()])
     return specs
-
-
-def deterministic_fields(result):
-    payload = result.to_dict()
-    payload.pop("wall_seconds")
-    return payload
-
-
-def store_result_bytes(directory):
-    """Relative path -> bytes for every *result* entry (errors excluded)."""
-    root = pathlib.Path(directory)
-    return {
-        str(path.relative_to(root)): path.read_bytes()
-        for path in root.rglob("*.json")
-        if not path.name.startswith(".") and not path.name.endswith(".error.json")
-    }
 
 
 def local_backend(hosts="local0:1,local1:1", **kwargs):
@@ -634,8 +620,8 @@ if HAVE_HYPOTHESIS:
 class TestSoak:
     """200-spec grid under randomized worker kills (run with ``-m soak``)."""
 
-    def test_randomized_kills_converge_with_clean_store(self, tmp_path):
-        rng = random.Random(1234)
+    @staticmethod
+    def _soak_specs():
         benchmarks = ("swaptions", "vector-operation", "histogram",
                       "blackscholes", "reduction")
         specs = []
@@ -648,7 +634,11 @@ class TestSoak:
                     )
                     specs.extend([spec, spec.baseline()])
         assert len({spec.content_key() for spec in specs}) == 200
+        return specs
 
+    def _run_soak(self, tmp_path, **backend_kwargs):
+        rng = random.Random(1234)
+        specs = self._soak_specs()
         store_dir = tmp_path / "multihost"
         backend = MultiHostBackend(
             "local0:2,local1:2",
@@ -657,6 +647,7 @@ class TestSoak:
             spawn_retries=10_000,
             host_quarantine_retries=10_000,
             store=ResultStore(store_dir),
+            **backend_kwargs,
         )
         stop = threading.Event()
         kills = []
@@ -694,3 +685,33 @@ class TestSoak:
         multihost_bytes = store_result_bytes(store_dir)
         assert len(multihost_bytes) == 200
         assert multihost_bytes == store_result_bytes(tmp_path / "serial")
+        return specs, backend
+
+    def test_randomized_kills_converge_with_clean_store(self, tmp_path):
+        self._run_soak(tmp_path)
+
+    def test_randomized_kills_batched_no_duplicate_executions(self, tmp_path):
+        # Same soak in batched mode, plus the per-spec execution-count
+        # probe: with batches in flight, an acknowledged spec must never be
+        # executed again.  Re-executions are legitimate only for specs that
+        # were in a dead worker's hands — each of those is a recorded
+        # requeue — so any execution beyond unique+requeues is a duplicate.
+        from repro.exp.worker import EXEC_LOG_ENV
+
+        log = tmp_path / "execlog"
+        specs, backend = self._run_soak(
+            tmp_path, batch=8, worker_env={EXEC_LOG_ENV: str(log)},
+        )
+        assert backend.stats.get("batch_frames", 0) >= 1
+        counts = {}
+        for line in log.read_text(encoding="utf-8").splitlines():
+            if line:
+                counts[line] = counts.get(line, 0) + 1
+        unique_keys = {spec.content_key() for spec in specs}
+        assert set(counts) == unique_keys  # every spec ran at least once
+        extra = sum(count - 1 for count in counts.values())
+        assert extra <= backend.stats.get("requeues", 0), (
+            f"{extra} re-executions exceed the "
+            f"{backend.stats.get('requeues', 0)} recorded requeues: "
+            "an acknowledged spec was executed twice"
+        )

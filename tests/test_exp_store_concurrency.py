@@ -22,6 +22,8 @@ from repro.exp import (
     run_spec,
 )
 
+from exp_helpers import store_result_bytes
+
 SCALE = 0.004
 
 
@@ -39,15 +41,6 @@ def shared_grid():
             spec = small_spec(benchmark=benchmark, config=config)
             specs.extend([spec, spec.baseline()])
     return specs
-
-
-def store_result_bytes(directory):
-    root = pathlib.Path(directory)
-    return {
-        str(path.relative_to(root)): path.read_bytes()
-        for path in root.rglob("*.json")
-        if not path.name.startswith(".") and not path.name.endswith(".error.json")
-    }
 
 
 def no_temp_files(directory):
