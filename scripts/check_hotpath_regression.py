@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Gate CI on the hot-path speedup trajectory.
+
+Compares the geometric-mean detailed-mode speedup of the *fresh* hot-path
+measurement (``benchmarks/results/perf_hotpath.json``, written by
+``benchmarks/bench_perf_hotpath.py`` on every run, including smoke runs)
+against the *last committed* entry of the ``BENCH_hotpath.json`` trajectory,
+and fails when the fresh number falls below ``slack * committed``.
+
+The slack is deliberately generous (default 0.4): CI runners are shared,
+single-core and noisy, and the smoke measurement runs at a smaller scale
+with one repeat — so absolute throughput is not comparable run-to-run.  The
+*ratio* (batched engine over the per-record baseline on the same host, in
+the same process, interleaved) is far more stable, and a catastrophic
+regression — grouped dispatch silently disabled, plan memoisation broken —
+drags it toward 1x, far through any reasonable slack.  Tightening beyond
+~0.6 trades signal for flakes.
+
+Usage::
+
+    python scripts/check_hotpath_regression.py [--slack 0.4] \
+        [--measurement benchmarks/results/perf_hotpath.json] \
+        [--trajectory BENCH_hotpath.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--measurement",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "results" / "perf_hotpath.json",
+        help="fresh measurement JSON written by bench_perf_hotpath.py",
+    )
+    parser.add_argument(
+        "--trajectory",
+        type=Path,
+        default=REPO_ROOT / "BENCH_hotpath.json",
+        help="committed trajectory file (last entry is the reference)",
+    )
+    parser.add_argument(
+        "--slack",
+        type=float,
+        default=0.4,
+        help="fail when fresh geomean < slack * committed geomean",
+    )
+    args = parser.parse_args(argv)
+
+    measurement = json.loads(args.measurement.read_text(encoding="utf-8"))
+    trajectory = json.loads(args.trajectory.read_text(encoding="utf-8"))
+    entries = trajectory.get("entries", [])
+    if not entries:
+        print("trajectory has no entries; nothing to gate against")
+        return 0
+    if measurement.get("workload_subset"):
+        print("measurement is a --workloads subset run; not comparable, skipping")
+        return 0
+
+    committed = entries[-1]["detailed_speedup_geomean"]
+    fresh = measurement["detailed_speedup_geomean"]
+    floor = args.slack * committed
+    verdict = "OK" if fresh >= floor else "REGRESSION"
+    print(
+        f"hot-path detailed-speedup geomean: fresh {fresh:.2f}x vs committed "
+        f"{committed:.2f}x ({entries[-1].get('date', '?')}); floor "
+        f"{floor:.2f}x (slack {args.slack}) -> {verdict}"
+    )
+    for config in measurement.get("configs", ()):
+        print(
+            f"  {config['workload']}/{config['architecture']}: "
+            f"{config['detailed_speedup']:.2f}x, vector coverage "
+            f"{config['vector_coverage']:.0%}"
+        )
+    if fresh < floor:
+        print(
+            "the grouped/vectorised detailed path regressed far beyond runner "
+            "noise; profile with `repro grid ... --profile out.prof` and see "
+            "EXPERIMENTS.md for the trajectory",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

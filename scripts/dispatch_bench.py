@@ -15,6 +15,15 @@ sizes, and ``adaptive`` — and records, per mode:
 * **wall-clock seconds and specs/second throughput**, and
 * the speedup over the unbatched dispatch.
 
+A second section measures the worker-side **warmed-trace memo**: a grid of
+specs that revisit the same (benchmark, scale, seed) traces under varying
+thread counts — the normal shape of a ``run_batch`` frame — run once with
+the per-process memo enabled (default) and once with it disabled
+(``REPRO_EXP_TRACE_MEMO=0``, every spec regenerates and re-warms its trace
+and plan caches from scratch).  The delta is the per-spec warm-up cost the
+memo removes; no link latency is simulated here, so the measurement
+isolates worker-side compute.
+
 Every run appends one entry to the repository-root ``BENCH_dispatch.json``
 trajectory file (``--output`` overrides the path) and prints the
 frames-per-spec table quoted in ``EXPERIMENTS.md``.  ``--smoke`` shrinks the
@@ -40,6 +49,7 @@ from datetime import datetime, timezone
 
 from repro.core.config import lazy_config
 from repro.exp import AsyncWorkerBackend, ExperimentSpec, parse_batch
+from repro.exp.runner import TRACE_MEMO_ENV
 from repro.exp.worker import DELAY_ENV
 
 DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_dispatch.json"
@@ -65,6 +75,48 @@ def build_specs(count: int):
                 config=lazy_config(),
             ))
     return specs
+
+
+def build_repeated_specs(count: int):
+    """``count`` unique specs revisiting the same four warmed traces.
+
+    The thread count varies per lap while (benchmark, scale, seed) repeat,
+    so with the memo on only the first lap generates traces; every later
+    spec reuses the warmed columns (including their plan caches).
+    """
+    specs = []
+    threads = 1
+    while len(specs) < count:
+        threads += 1
+        for benchmark in BENCHMARKS:
+            if len(specs) >= count:
+                break
+            specs.append(ExperimentSpec(
+                benchmark, num_threads=threads, scale=SCALE, trace_seed=1,
+                config=lazy_config(),
+            ))
+    return specs
+
+
+def measure_trace_memo(specs, workers: int, batch):
+    """Run ``specs`` with the warmed-trace memo on and off; return the record."""
+    record = {"specs": len(specs), "batch": str(batch)}
+    for label, env in (("memo_on", {}), ("memo_off", {TRACE_MEMO_ENV: "0"})):
+        backend = AsyncWorkerBackend(
+            num_workers=workers, batch=batch, worker_env=dict(env),
+        )
+        started = time.monotonic()
+        backend.run(specs)
+        wall = time.monotonic() - started
+        record[label] = {
+            "wall_s": wall,
+            "wall_per_spec_ms": wall * 1000.0 / len(specs),
+            "specs_per_s": len(specs) / wall,
+        }
+    record["memo_speedup"] = (
+        record["memo_off"]["wall_s"] / record["memo_on"]["wall_s"]
+    )
+    return record
 
 
 def measure_mode(batch, specs, workers: int, delay: float):
@@ -157,6 +209,21 @@ def main(argv=None) -> int:
               f"wall={mode['wall_s']:.2f}s  "
               f"throughput={mode['specs_per_s']:.1f} specs/s")
 
+    # Warmed-trace memo: repeated-workload grid, no simulated link latency
+    # (the point is worker-side warm-up compute, not round-trips).
+    memo_specs = build_repeated_specs(args.specs)
+    trace_memo = measure_trace_memo(memo_specs, args.workers, batch=16)
+    print(f"  warmed-trace memo ({trace_memo['specs']} repeated-workload "
+          f"specs, batch=16):")
+    for label in ("memo_on", "memo_off"):
+        mode = trace_memo[label]
+        print(f"    {label:<9s} wall={mode['wall_s']:.2f}s  "
+              f"{mode['wall_per_spec_ms']:.1f} ms/spec  "
+              f"throughput={mode['specs_per_s']:.1f} specs/s")
+    print(f"    memo speedup: {trace_memo['memo_speedup']:.2f}x "
+          f"({trace_memo['memo_off']['wall_per_spec_ms'] - trace_memo['memo_on']['wall_per_spec_ms']:.1f} "
+          f"ms/spec warm-up removed)")
+
     # The speedup column only means what its name says when the unbatched
     # mode was actually measured; without it the field is omitted (null)
     # rather than silently re-baselined onto some batched mode.
@@ -177,6 +244,7 @@ def main(argv=None) -> int:
         "workers": args.workers,
         "scale": SCALE,
         "modes": modes,
+        "trace_memo": trace_memo,
     }
     output = pathlib.Path(args.output)
     append_entry(output, entry)

@@ -28,7 +28,7 @@ that dominated the original profile.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,6 +37,260 @@ from repro.arch.config import ArchitectureConfig
 from repro.arch.hierarchy import MemorySystem
 from repro.arch.rob import RobModel
 from repro.trace.columns import TraceColumns
+
+
+class ExecutionPlan(NamedTuple):
+    """Static per-trace precomputation of the detailed cost model.
+
+    One plan is built per (trace columns, model geometry) pair and memoised
+    in ``columns.plan_cache``, so re-simulating the same trace with a
+    different thread count or controller reuses it.  The geometry columns are
+    kept both as NumPy arrays (shared with the vectorised walk engine in
+    :mod:`repro.arch.vector`, which gathers from them directly) and as plain
+    Python lists (bound by the scalar hot loop of
+    :meth:`BatchedCoreExecutor.execute`, where list indexing beats NumPy
+    scalar indexing).
+    """
+
+    #: Per-block dispatch cycles, ``instructions * base_cpi / issue_width``.
+    block_dispatch: np.ndarray
+    #: Per-block repeated-access serialisation term of the ROB model.
+    block_repeat: np.ndarray
+    #: Per cache level, the set index of every event (NumPy int64).
+    level_set: Tuple[np.ndarray, ...]
+    #: Per cache level, the tag of every event (NumPy int64).
+    level_tag: Tuple[np.ndarray, ...]
+    #: Block id of every event and the event's rank within its block.
+    event_block: np.ndarray
+    event_rank: np.ndarray
+    #: Per-record number of events and whether the record writes shared data.
+    record_events: np.ndarray
+    has_shared_write: np.ndarray
+    #: Sound per-record lower bound on detailed cycles (pre-noise): the
+    #: contention-free dispatch time with a relative safety margin for
+    #: summation-order differences.  Used by the engine's deferred-dispatch
+    #: path to order completions without evaluating the cache walk.
+    cycles_floor: np.ndarray
+    #: Per cache level, the rank of every event among the *same-record*
+    #: events that map to the same set at that level (0 for the first).  At
+    #: private levels two group members never share a tag-store row, so this
+    #: static rank is exactly the serialisation order the vector kernel
+    #: needs; ``level_max_rank`` holds the per-record maximum per level so an
+    #: all-distinct group (the common case) is detected without touching the
+    #: arrays.
+    level_rank: Tuple[np.ndarray, ...]
+    level_max_rank: Tuple[list, ...]
+    #: Exact contention-free detailed cycle count per record: the sequential
+    #: left fold of ``block_dispatch`` over the record's blocks, bit-equal to
+    #: the scalar loop when no event exposes stall latency.
+    static_cycles: list
+    # ------------------------------------------------------------------
+    # Python-list mirrors for the scalar hot loop.
+    block_dispatch_list: list
+    block_repeat_list: list
+    level_set_list: tuple
+    level_tag_list: tuple
+    event_write: list
+    event_shared: list
+    block_offsets: list
+    event_offsets: list
+    instructions: list
+    detail_events: list
+    has_shared_write_list: list
+    cycles_floor_list: list
+    #: Per record, a tuple of ``(l1_events, dispatch, repeat)`` triples — one
+    #: per block — where ``l1_events`` is the block's pre-zipped L1 walk
+    #: stream of ``(l1_set, l1_tag, is_write, coherent_write, event_id)``
+    #: tuples.  The scalar group executor iterates this structure with one
+    #: tuple unpack per block and one per event, replacing the
+    #: ``block_offsets``/``block_dispatch``/``block_repeat`` index lookups
+    #: and the three parallel event-column lookups of the naive loop.  The
+    #: ``coherent_write`` flag pre-evaluates ``is_write and shared`` so the
+    #: hot loop's coherence gate is a single truth test.
+    record_blocks: list
+
+
+def _plan_key(columns: TraceColumns, caches: list, core, rob_model: RobModel) -> tuple:
+    return (
+        "batched-executor",
+        caches[0].config.line_bytes,
+        tuple(c.config.num_sets for c in caches),
+        core.base_cpi,
+        core.issue_width,
+        rob_model.l1_latency,
+    )
+
+
+def build_execution_plan(
+    columns: TraceColumns, caches: list, core, rob_model: RobModel
+) -> ExecutionPlan:
+    """Build (or fetch from ``columns.plan_cache``) the execution plan."""
+    plan_key = _plan_key(columns, caches, core, rob_model)
+    plan = columns.plan_cache.get(plan_key)
+    if plan is not None:
+        return plan
+
+    # Contention-free base cycles: per-block dispatch time at the core's
+    # issue width.  int64 -> float64 conversion and the multiply/divide
+    # reproduce `instructions * base_cpi / issue_width` bit-exactly.
+    block_dispatch = (
+        columns.block_instructions.astype(np.float64)
+        * core.base_cpi
+        / core.issue_width
+    )
+
+    # Repeated-access serialisation term of RobModel.block_cycles: the
+    # per-block sum of (weight - 1) scaled by a constant.
+    repeats = np.maximum(columns.event_weight - 1, 0)
+    cumulative = np.concatenate(([0], np.cumsum(repeats, dtype=np.int64)))
+    offsets = columns.event_offsets
+    repeats_per_block = cumulative[offsets[1:]] - cumulative[offsets[:-1]]
+    block_repeat = (
+        repeats_per_block.astype(np.float64)
+        * (rob_model.l1_latency / core.issue_width)
+        * 0.1
+    )
+
+    # Cache geometry: per level, the set index and tag of every event.
+    line_numbers = columns.event_address // caches[0].config.line_bytes
+    level_set = []
+    level_tag = []
+    for cache in caches:
+        num_sets = cache.config.num_sets
+        level_set.append(line_numbers % num_sets)
+        level_tag.append(line_numbers // num_sets)
+
+    # Event topology: the block of every event and its rank within it.
+    events_per_block = offsets[1:] - offsets[:-1]
+    event_block = np.repeat(
+        np.arange(columns.num_blocks, dtype=np.int64), events_per_block
+    )
+    event_rank = (
+        np.arange(columns.num_events, dtype=np.int64) - offsets[event_block]
+        if columns.num_events
+        else np.zeros(0, dtype=np.int64)
+    )
+
+    record_offsets = columns.record_event_offsets
+    record_events = record_offsets[1:] - record_offsets[:-1]
+    shared_write = columns.event_is_write & columns.event_shared
+    sw_cum = np.concatenate(([0], np.cumsum(shared_write, dtype=np.int64)))
+    has_shared_write = (sw_cum[record_offsets[1:]] - sw_cum[record_offsets[:-1]]) > 0
+
+    # Per-level, per-record set-collision ranks (see ExecutionPlan docstring).
+    num_records = record_events.shape[0]
+    record_of_event = np.repeat(
+        np.arange(num_records, dtype=np.int64), record_events
+    )
+    num_events = columns.num_events
+    level_rank = []
+    level_max_rank = []
+    event_positions = np.arange(num_events, dtype=np.int64)
+    for sets_at_level, cache in zip(level_set, caches):
+        key = record_of_event * np.int64(cache.config.num_sets) + sets_at_level
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        if num_events:
+            new_segment = np.concatenate(
+                ([True], sorted_key[1:] != sorted_key[:-1])
+            )
+        else:
+            new_segment = np.zeros(0, dtype=np.bool_)
+        segment_start = np.maximum.accumulate(
+            np.where(new_segment, event_positions, 0)
+        )
+        rank = np.empty(num_events, dtype=np.int64)
+        rank[order] = event_positions - segment_start
+        max_rank = np.zeros(num_records, dtype=np.int64)
+        np.maximum.at(max_rank, record_of_event, rank)
+        level_rank.append(rank)
+        level_max_rank.append(max_rank.tolist())
+
+    # Lower bound on the detailed cycle count: the dispatch contribution of
+    # every block (stalls are non-negative).  The segment sums here use a
+    # different float summation order than the scalar loop, so shave a
+    # relative margin far above the worst-case summation error.
+    bd_cum = np.concatenate(([0.0], np.cumsum(block_dispatch, dtype=np.float64)))
+    block_offsets = columns.block_offsets
+    cycles_floor = np.maximum(
+        bd_cum[block_offsets[1:]] - bd_cum[block_offsets[:-1]], 0.0
+    ) * (1.0 - 1e-9)
+
+    # Exact stall-free cycle counts: the same left fold the scalar loop
+    # performs when every block's exposed sum is zero.  Computed once in
+    # Python because `a + b + c` and the cumsum segment difference above are
+    # not bit-equal in general.
+    bd_list = block_dispatch.tolist()
+    bo_list = block_offsets.tolist()
+    static_cycles = []
+    for record in range(num_records):
+        total = 0.0
+        for block in range(bo_list[record], bo_list[record + 1]):
+            total += bd_list[block]
+        static_cycles.append(total)
+
+    # Pre-zipped per-block L1 walk streams and the per-record block
+    # structure for the scalar group executor.
+    l1_set_list = level_set[0].tolist()
+    l1_tag_list = level_tag[0].tolist()
+    ev_write_list = columns.event_is_write.tolist()
+    coh_list = shared_write.tolist()
+    eo_list = offsets.tolist()
+    event_ids = range(columns.num_events)
+    l1_block_events = [
+        tuple(
+            zip(
+                l1_set_list[start:end],
+                l1_tag_list[start:end],
+                ev_write_list[start:end],
+                coh_list[start:end],
+                event_ids[start:end],
+            )
+        )
+        for start, end in zip(eo_list[:-1], eo_list[1:])
+    ]
+    br_list = block_repeat.tolist()
+    record_blocks = [
+        tuple(
+            (l1_block_events[block], bd_list[block], br_list[block])
+            for block in range(bo_list[record], bo_list[record + 1])
+        )
+        for record in range(num_records)
+    ]
+
+    plan = ExecutionPlan(
+        block_dispatch=block_dispatch,
+        block_repeat=block_repeat,
+        level_set=tuple(level_set),
+        level_tag=tuple(level_tag),
+        event_block=event_block,
+        event_rank=event_rank,
+        record_events=record_events,
+        has_shared_write=has_shared_write,
+        cycles_floor=cycles_floor,
+        level_rank=tuple(level_rank),
+        level_max_rank=tuple(level_max_rank),
+        static_cycles=static_cycles,
+        block_dispatch_list=bd_list,
+        block_repeat_list=br_list,
+        level_set_list=tuple(
+            [l1_set_list] + [s.tolist() for s in level_set[1:]]
+        ),
+        level_tag_list=tuple(
+            [l1_tag_list] + [t.tolist() for t in level_tag[1:]]
+        ),
+        event_write=ev_write_list,
+        event_shared=columns.event_shared.tolist(),
+        block_offsets=bo_list,
+        event_offsets=eo_list,
+        instructions=columns.instructions.tolist(),
+        detail_events=columns.detail_events_per_record().tolist(),
+        has_shared_write_list=has_shared_write.tolist(),
+        cycles_floor_list=cycles_floor.tolist(),
+        record_blocks=record_blocks,
+    )
+    columns.plan_cache[plan_key] = plan
+    return plan
 
 
 class BatchedCoreExecutor:
@@ -86,72 +340,30 @@ class BatchedCoreExecutor:
         self._level_latency: List[int] = [c.config.latency_cycles for c in caches]
         self._level_assoc: List[int] = [c.config.associativity for c in caches]
 
-        plan_key = (
-            "batched-executor",
-            caches[0].config.line_bytes,
-            tuple(c.config.num_sets for c in caches),
-            core.base_cpi,
-            core.issue_width,
-            rob_model.l1_latency,
-        )
-        plan = columns.plan_cache.get(plan_key)
-        if plan is None:
-            # Contention-free base cycles: per-block dispatch time at the
-            # core's issue width.  int64 -> float64 conversion and the
-            # multiply/divide reproduce `instructions * base_cpi /
-            # issue_width` bit-exactly.
-            block_dispatch = (
-                columns.block_instructions.astype(np.float64)
-                * core.base_cpi
-                / core.issue_width
-            ).tolist()
-
-            # Repeated-access serialisation term of RobModel.block_cycles:
-            # the per-block sum of (weight - 1) scaled by a constant.
-            repeats = np.maximum(columns.event_weight - 1, 0)
-            cumulative = np.concatenate(([0], np.cumsum(repeats, dtype=np.int64)))
-            offsets = columns.event_offsets
-            repeats_per_block = cumulative[offsets[1:]] - cumulative[offsets[:-1]]
-            block_repeat = (
-                repeats_per_block.astype(np.float64)
-                * (rob_model.l1_latency / core.issue_width)
-                * 0.1
-            ).tolist()
-
-            # Cache geometry: per level, the set index and tag of every event.
-            line_numbers = columns.event_address // caches[0].config.line_bytes
-            ev_set = []
-            ev_tag = []
-            for cache in caches:
-                num_sets = cache.config.num_sets
-                ev_set.append((line_numbers % num_sets).tolist())
-                ev_tag.append((line_numbers // num_sets).tolist())
-
-            plan = (
-                block_dispatch,
-                block_repeat,
-                ev_set,
-                ev_tag,
-                columns.event_is_write.tolist(),
-                columns.event_shared.tolist(),
-                columns.block_offsets.tolist(),
-                columns.event_offsets.tolist(),
-                columns.instructions.tolist(),
-                columns.detail_events_per_record().tolist(),
-            )
-            columns.plan_cache[plan_key] = plan
-        (
-            self._block_dispatch,
-            self._block_repeat_term,
-            self._ev_set,
-            self._ev_tag,
-            self._ev_write,
-            self._ev_shared,
-            self._block_offsets,
-            self._event_offsets,
-            self._instructions,
-            self._detail_events,
-        ) = plan
+        plan = build_execution_plan(columns, caches, core, rob_model)
+        self.plan = plan
+        self._block_dispatch = plan.block_dispatch_list
+        self._block_repeat_term = plan.block_repeat_list
+        self._ev_set = plan.level_set_list
+        self._ev_tag = plan.level_tag_list
+        self._ev_write = plan.event_write
+        self._ev_shared = plan.event_shared
+        #: Whether any event in the trace touches shared data at all; when
+        #: not, the hot loop skips the per-write coherence check entirely.
+        self._any_shared = bool(columns.event_shared.any())
+        self._block_offsets = plan.block_offsets
+        self._event_offsets = plan.event_offsets
+        self._record_blocks = plan.record_blocks
+        #: Persistent flat per-(core, level) counter block for
+        #: :meth:`execute_many`: ``[core * stride + level * 4 + k]`` with
+        #: ``k`` in (hits, misses, evictions, writebacks).  Zeroed slot-wise
+        #: during each group's writeback, so no per-group allocation.
+        self._group_acc = [0] * (memory_system.num_cores * self._num_levels * 4)
+        self._instructions = plan.instructions
+        self._detail_events = plan.detail_events
+        #: Contention tables memoised per active-core count (see
+        #: :meth:`contention_tables`); shared with the vector engine.
+        self._tables: Dict[int, tuple] = {}
 
         # Per-core view of the tag stores: [core][level] -> (sets, stats),
         # plus the flattened hot-loop bindings (sets, associativity, per-event
@@ -193,27 +405,22 @@ class BatchedCoreExecutor:
         """Number of memory events the detailed model resolves for ``index``."""
         return self._detail_events[index]
 
-    def execute(
-        self,
-        index: int,
-        core_id: int,
-        active_cores: int = 1,
-        noise: Optional[float] = None,
-    ) -> Tuple[float, float]:
-        """Execute record ``index`` on ``core_id``; return ``(cycles, ipc)``.
+    def contention_tables(self, active_cores: int) -> tuple:
+        """Latency and exposure tables for one active-core count.
 
-        Semantics (including every floating-point operation order) match
-        ``DetailedCoreModel.execute`` on the equivalent record view.
+        Returns ``(ic_latency, dram_latency, hit_latency, exposure)`` exactly
+        as the per-record model computes them; the dynamic contention terms
+        are constant for the duration of one task instance, and within one
+        simulation they recur for the same ``active_cores`` value, so the
+        tables are memoised per count.  The float operation order below
+        replays :meth:`CacheHierarchy.access` bit-exactly.
         """
-        if active_cores < 1:
-            active_cores = 1
-        memory = self.memory_system
-        interconnect = memory.interconnect
-        dram = memory.dram
+        tables = self._tables.get(active_cores)
+        if tables is not None:
+            return tables
+        interconnect = self.memory_system.interconnect
+        dram = self.memory_system.dram
 
-        # Dynamic contention terms: constant for the duration of one task
-        # instance (active_cores does not change mid-instance), so the
-        # per-event model calls collapse to two closed-form latencies.
         ic_config = interconnect.config
         ic_latency = float(ic_config.interconnect_latency_cycles) + (
             ic_config.interconnect_contention_per_core * (active_cores - 1)
@@ -263,6 +470,30 @@ class BatchedCoreExecutor:
             if miss_latency > l1_threshold and miss_latency - hide > 0.0
             else None
         )
+        tables = (ic_latency, dram_latency, hit_latency, exposure)
+        self._tables[active_cores] = tables
+        return tables
+
+    def execute(
+        self,
+        index: int,
+        core_id: int,
+        active_cores: int = 1,
+        noise: Optional[float] = None,
+    ) -> Tuple[float, float]:
+        """Execute record ``index`` on ``core_id``; return ``(cycles, ipc)``.
+
+        Semantics (including every floating-point operation order) match
+        ``DetailedCoreModel.execute`` on the equivalent record view.
+        """
+        if active_cores < 1:
+            active_cores = 1
+        memory = self.memory_system
+        interconnect = memory.interconnect
+        dram = memory.dram
+
+        ic_latency, dram_latency, _, exposure = self.contention_tables(active_cores)
+        num_private = self._num_private
         miss_level = self._num_levels
 
         # Local bindings for the hot loop.
@@ -272,6 +503,7 @@ class BatchedCoreExecutor:
         outer_levels = level_data[1:]
         ev_write = self._ev_write
         ev_shared = self._ev_shared
+        any_shared = self._any_shared
         event_offsets = self._event_offsets
         block_dispatch = self._block_dispatch
         block_repeat = self._block_repeat_term
@@ -308,7 +540,7 @@ class BatchedCoreExecutor:
                         line.dirty = True
                         line.owner = core_id
                         lines.move_to_end(tag)
-                        if ev_shared[event]:
+                        if any_shared and ev_shared[event]:
                             self._invalidate_remote(core_id, event)
                     else:
                         lines.move_to_end(tag)
@@ -335,11 +567,11 @@ class BatchedCoreExecutor:
                     tag = tag_index[event]
                     if tag in lines:
                         hits[level] += 1
-                        line = lines.pop(tag)
                         if is_write:
+                            line = lines[tag]
                             line.dirty = True
                             line.owner = core_id
-                        lines[tag] = line
+                        lines.move_to_end(tag)
                         if level >= num_private:
                             # Hit in a shared level: the access still crossed
                             # the interconnect out of the private levels.
@@ -364,7 +596,7 @@ class BatchedCoreExecutor:
                     dram_total += dram_latency
                     ic_transfers += 1
                     ic_total += ic_latency
-                if is_write and ev_shared[event]:
+                if any_shared and is_write and ev_shared[event]:
                     self._invalidate_remote(core_id, event)
                 exposed = exposure[level]
                 if exposed is not None:
@@ -410,10 +642,222 @@ class BatchedCoreExecutor:
         return total_cycles, self._instructions[index] / total_cycles
 
     # ------------------------------------------------------------------
+    def execute_many(self, entries: Sequence[tuple]) -> List[Tuple[float, float]]:
+        """Execute ``(index, core_id, active_cores, noise)`` entries in order.
+
+        Semantically exactly ``[self.execute(*entry) for entry in entries]``
+        (same walk, same float operation order, same statistics), but with
+        the per-call setup hoisted out of the loop: contention tables are
+        re-resolved only when the active-core count changes (within one
+        dispatch instant it never does), the interconnect/DRAM latency folds
+        carry across entries, all hit/miss counters accumulate into the
+        persistent flat per-(core, level) block (L1 via per-entry locals)
+        and are written back once per group (integer sums, so the aggregate
+        is identical), and the walk iterates the pre-zipped
+        ``record_blocks`` structure — per-block ``(l1_events, dispatch,
+        repeat)`` triples with the coherence flag folded into each L1 event
+        tuple — instead of indexing parallel lists per block and per event.
+        The grouped-dispatch engine flushes whole deferred groups through
+        this entry point when the vector kernel is not engaged.
+        """
+        memory = self.memory_system
+        interconnect = memory.interconnect
+        dram = memory.dram
+        num_private = self._num_private
+        num_levels = self._num_levels
+        miss_level = num_levels
+        record_blocks = self._record_blocks
+        max_outstanding = self._max_outstanding
+        instructions = self._instructions
+        core_level_data = self._core_level_data
+        core_levels = self._core_levels
+        contention_tables = self.contention_tables
+        invalidate_remote = self._invalidate_remote
+        acc = self._group_acc
+        stride = num_levels * 4
+
+        ic_transfers = 0
+        ic_total = interconnect.stats.total_latency
+        dram_requests = 0
+        dram_total = dram.stats.total_latency
+        touched: set = set()
+        touched_add = touched.add
+
+        tables_for = -1
+        ic_latency = dram_latency = 0.0
+        exposure: List[Optional[float]] = []
+        l1_exposure: Optional[float] = None
+        results: List[Tuple[float, float]] = []
+        for index, core_id, active_cores, noise in entries:
+            if active_cores < 1:
+                active_cores = 1
+            if active_cores != tables_for:
+                ic_latency, dram_latency, _, exposure = contention_tables(
+                    active_cores
+                )
+                l1_exposure = exposure[0]
+                tables_for = active_cores
+
+            level_data = core_level_data[core_id]
+            l1_sets, l1_assoc, _l1_set_index, _l1_tag_index = level_data[0]
+            outer_levels = level_data[1:]
+            base = core_id * stride
+            touched_add(core_id)
+
+            l1_hits = l1_misses = l1_evictions = l1_writebacks = 0
+            total_cycles = 0.0
+            for l1_events, dispatch, repeat in record_blocks[index]:
+                exposed_sum = 0.0
+                exposed_max = 0.0
+                exposed_count = 0
+                for l1_set, tag, is_write, coherent, event in l1_events:
+                    lines = l1_sets[l1_set]
+                    if tag in lines:
+                        l1_hits += 1
+                        if is_write:
+                            line = lines[tag]
+                            line.dirty = True
+                            line.owner = core_id
+                            lines.move_to_end(tag)
+                            if coherent:
+                                invalidate_remote(core_id, event)
+                        else:
+                            lines.move_to_end(tag)
+                        if l1_exposure is not None:
+                            exposed_count += 1
+                            if l1_exposure > exposed_max:
+                                exposed_max = l1_exposure
+                            exposed_sum += l1_exposure
+                        continue
+                    l1_misses += 1
+                    if len(lines) >= l1_assoc:
+                        _, victim = lines.popitem(last=False)
+                        l1_evictions += 1
+                        if victim.dirty:
+                            l1_writebacks += 1
+                        victim.dirty = is_write
+                        victim.owner = core_id
+                        lines[tag] = victim
+                    else:
+                        lines[tag] = _Line(dirty=is_write, owner=core_id)
+                    level = 1
+                    off = base + 4
+                    for sets, associativity, set_index, tag_index in outer_levels:
+                        lines = sets[set_index[event]]
+                        tag = tag_index[event]
+                        if tag in lines:
+                            acc[off] += 1
+                            if is_write:
+                                line = lines[tag]
+                                line.dirty = True
+                                line.owner = core_id
+                            lines.move_to_end(tag)
+                            if level >= num_private:
+                                ic_transfers += 1
+                                ic_total += ic_latency
+                            break
+                        acc[off + 1] += 1
+                        if len(lines) >= associativity:
+                            _, victim = lines.popitem(last=False)
+                            acc[off + 2] += 1
+                            if victim.dirty:
+                                acc[off + 3] += 1
+                            victim.dirty = is_write
+                            victim.owner = core_id
+                            lines[tag] = victim
+                        else:
+                            lines[tag] = _Line(dirty=is_write, owner=core_id)
+                        level += 1
+                        off += 4
+                    else:
+                        level = miss_level
+                        dram_requests += 1
+                        dram_total += dram_latency
+                        ic_transfers += 1
+                        ic_total += ic_latency
+                    if coherent:
+                        invalidate_remote(core_id, event)
+                    exposed = exposure[level]
+                    if exposed is not None:
+                        exposed_count += 1
+                        if exposed > exposed_max:
+                            exposed_max = exposed
+                        exposed_sum += exposed
+                if exposed_sum <= 0.0:
+                    total_cycles += dispatch
+                    continue
+                mlp = float(exposed_count) if exposed_count > 1 else 1.0
+                if mlp > max_outstanding:
+                    mlp = max_outstanding
+                stall = exposed_sum / mlp
+                if exposed_max > stall:
+                    stall = exposed_max
+                stall += repeat
+                total_cycles += dispatch + stall
+
+            if l1_hits or l1_misses:
+                acc[base] += l1_hits
+                acc[base + 1] += l1_misses
+                acc[base + 2] += l1_evictions
+                acc[base + 3] += l1_writebacks
+            if total_cycles <= 0.0:
+                total_cycles = 1.0
+            if noise is not None and noise != 1.0:
+                total_cycles *= noise
+            if total_cycles <= 0.0:
+                results.append((total_cycles, 0.0))
+                continue
+            results.append((total_cycles, instructions[index] / total_cycles))
+
+        if ic_transfers:
+            interconnect.stats.transfers += ic_transfers
+            interconnect.stats.total_latency = ic_total
+        if dram_requests:
+            dram.stats.requests += dram_requests
+            dram.stats.total_latency = dram_total
+        # Per-group statistics writeback; the counter slots are re-zeroed as
+        # they drain so the flat block is clean for the next group.
+        num_shared = num_levels - num_private
+        shared_totals = [0] * (4 * num_shared)
+        for core_id in touched:
+            levels = core_levels[core_id]
+            cbase = core_id * stride
+            for level in range(num_private):
+                off = cbase + level * 4
+                level_hits = acc[off]
+                level_misses = acc[off + 1]
+                if level_hits or level_misses:
+                    stats = levels[level][1]
+                    stats.hits += level_hits
+                    stats.misses += level_misses
+                    stats.evictions += acc[off + 2]
+                    stats.writebacks += acc[off + 3]
+                    acc[off] = 0
+                    acc[off + 1] = 0
+                    acc[off + 2] = 0
+                    acc[off + 3] = 0
+            sbase = cbase + num_private * 4
+            for k in range(4 * num_shared):
+                shared_totals[k] += acc[sbase + k]
+                acc[sbase + k] = 0
+        if num_shared and touched:
+            shared_levels = core_levels[next(iter(touched))]
+            for level in range(num_private, num_levels):
+                k = (level - num_private) * 4
+                stats = shared_levels[level][1]
+                stats.hits += shared_totals[k]
+                stats.misses += shared_totals[k + 1]
+                stats.evictions += shared_totals[k + 2]
+                stats.writebacks += shared_totals[k + 3]
+        return results
+
+    # ------------------------------------------------------------------
     def _invalidate_remote(self, writer_core: int, event: int) -> None:
         """Write-invalidate coherence for a shared-data write."""
         for sets, stats, set_index, tag_index in self._invalidate_targets[writer_core]:
-            lines = sets[set_index[event]]
+            lines = sets.get(set_index[event])
+            if lines is None:
+                continue
             line = lines.pop(tag_index[event], None)
             if line is not None:
                 stats.invalidations += 1

@@ -9,9 +9,9 @@ invalidations.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.arch.config import CacheConfig
 
@@ -75,8 +75,12 @@ class Cache:
         self.config = config
         self.name = name
         self.stats = CacheStatistics()
-        # One ordered dict per set: maps line tag -> _Line, LRU order.
-        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(config.num_sets)]
+        # One ordered dict per set index: maps line tag -> _Line, LRU order.
+        # Sets are allocated lazily on first touch — large shared caches
+        # (e.g. a 16K-set L3) would otherwise pay tens of milliseconds of
+        # OrderedDict construction per simulated machine for sets the trace
+        # never reaches.
+        self._sets: defaultdict = defaultdict(OrderedDict)
 
     # ------------------------------------------------------------------
     def _locate(self, address: int) -> tuple:
@@ -115,7 +119,8 @@ class Cache:
     def probe(self, address: int) -> bool:
         """Return ``True`` if ``address`` is present, without changing state."""
         set_index, tag = self._locate(address)
-        return tag in self._sets[set_index]
+        lines = self._sets.get(set_index)
+        return lines is not None and tag in lines
 
     def _allocate(self, set_index: int, tag: int, is_write: bool, requester: Optional[int]) -> None:
         lines = self._sets[set_index]
@@ -134,8 +139,8 @@ class Cache:
         caches.
         """
         set_index, tag = self._locate(address)
-        lines = self._sets[set_index]
-        if tag in lines:
+        lines = self._sets.get(set_index)
+        if lines is not None and tag in lines:
             line = lines.pop(tag)
             self.stats.invalidations += 1
             if line.dirty:
@@ -146,14 +151,13 @@ class Cache:
     # ------------------------------------------------------------------
     def occupancy(self) -> float:
         """Fraction of lines currently valid, in [0, 1]."""
-        used = sum(len(lines) for lines in self._sets)
+        used = sum(len(lines) for lines in self._sets.values())
         capacity = self.config.num_sets * self.config.associativity
         return used / capacity if capacity else 0.0
 
     def flush(self) -> None:
         """Invalidate the entire cache contents (statistics are preserved)."""
-        for lines in self._sets:
-            lines.clear()
+        self._sets.clear()
 
     def reset_statistics(self) -> None:
         """Zero the statistics counters, keeping cache contents."""

@@ -26,11 +26,20 @@ of connect-back workers (local subprocesses or SSH),
 ``--cache-dir DIR`` to persist every result on disk, keyed by experiment
 content hash — re-running an unchanged grid is then a pure cache hit.
 ``$REPRO_CACHE_DIR`` provides a default cache directory.
+
+``compare``, ``grid`` and ``sweep`` also accept ``--profile FILE`` (or the
+``$REPRO_PROFILE`` environment variable) to run the simulation phase under
+:mod:`cProfile` and dump the binary stats to ``FILE`` for inspection with
+``python -m pstats FILE`` — table rendering and argument parsing stay
+outside the profile, so the dump shows where simulation time actually goes.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import cProfile
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -153,6 +162,11 @@ def _add_orchestrator_arguments(parser: argparse.ArgumentParser) -> None:
                              "run_batch frames, amortising per-spec "
                              "round-trips; pool maps it onto chunksize; "
                              "default: one spec at a time)")
+    parser.add_argument("--profile", default=None, metavar="FILE",
+                        help="run the simulation phase under cProfile and "
+                             "dump binary stats to FILE (default: "
+                             "$REPRO_PROFILE if set; inspect with "
+                             "'python -m pstats FILE')")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -251,9 +265,10 @@ def _command_compare(args: argparse.Namespace) -> int:
         config=_taskpoint_config(args),
     )
     backend, store = _backend_and_store(args)
-    sampled, detailed = run_experiments(
-        [spec, spec.baseline()], backend=backend, store=store
-    )
+    with _maybe_profile(args):
+        sampled, detailed = run_experiments(
+            [spec, spec.baseline()], backend=backend, store=store
+        )
     print(f"benchmark            : {sampled.benchmark}")
     print(f"architecture         : {sampled.architecture}")
     print(f"threads              : {sampled.num_threads}")
@@ -269,18 +284,43 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+@contextlib.contextmanager
+def _maybe_profile(args: argparse.Namespace):
+    """Profile the wrapped simulation phase when requested.
+
+    ``--profile FILE`` wins over ``$REPRO_PROFILE``; with neither set this
+    is a no-op.  The binary :mod:`cProfile` stats land in ``FILE`` on exit
+    (including on error), ready for ``python -m pstats FILE`` or any
+    pstats-compatible viewer.
+    """
+    path = getattr(args, "profile", None) or os.environ.get("REPRO_PROFILE")
+    if not path:
+        yield
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)
+        print(f"profile: simulation-phase cProfile stats written to {path}",
+              file=sys.stderr)
+
+
 def _command_grid(args: argparse.Namespace) -> int:
     backend, store = _backend_and_store(args)
-    results = evaluate_grid(
-        _benchmark_list(args.benchmarks),
-        _int_list(args.threads),
-        architecture=_architecture(args.architecture),
-        config=_taskpoint_config(args),
-        scale=args.scale,
-        seed=args.seed,
-        backend=backend,
-        store=store,
-    )
+    with _maybe_profile(args):
+        results = evaluate_grid(
+            _benchmark_list(args.benchmarks),
+            _int_list(args.threads),
+            architecture=_architecture(args.architecture),
+            config=_taskpoint_config(args),
+            scale=args.scale,
+            seed=args.seed,
+            backend=backend,
+            store=store,
+        )
     policy = "lazy" if args.policy == "lazy" else f"periodic P={args.period}"
     print(render_accuracy_table(
         results,
@@ -309,7 +349,8 @@ def _command_sweep(args: argparse.Namespace) -> int:
         sweep, values_key = period_sweep, "period_values"
     if args.values:
         kwargs[values_key] = tuple(_int_list(args.values))
-    points = sweep(**kwargs)
+    with _maybe_profile(args):
+        points = sweep(**kwargs)
     rows = [
         [point.value, point.average_error_percent, point.average_speedup,
          point.experiments]

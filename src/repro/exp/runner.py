@@ -10,10 +10,24 @@ Trace generation is memoised per process: grids typically reuse the same
 configurations, and regenerating it for every spec would dominate the run
 time.  The memo replaces the ad-hoc trace dictionaries the analysis layer
 and the benchmark harnesses used to carry around.
+
+The memo is worth more than the generation it skips: the returned trace
+object carries its ``TraceColumns``, and the columns carry every lazily
+built simulation artefact — the batched executor's ``ExecutionPlan`` and
+the runtime's static instance lists, both memoised in
+``columns.plan_cache`` keyed by model geometry.  A worker process that
+receives many specs of one workload (the normal shape of a ``run_batch``
+frame, and of consecutive frames of one grid) therefore pays trace
+generation *and* plan construction once, and every later spec starts on a
+fully warmed trace.  Set ``REPRO_EXP_TRACE_MEMO=0`` to disable the memo —
+every spec then regenerates (and re-warms) its trace from scratch, which
+is how ``scripts/dispatch_bench.py`` measures the per-spec warm-up cost
+the memo removes.
 """
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
 
 from repro.core.controller import TaskPointController
@@ -25,16 +39,29 @@ from repro.workloads.registry import get_workload
 #: Traces kept per process; large enough for the full 19-benchmark grids.
 _TRACE_CACHE_SIZE = 64
 
+#: Set to ``0`` to disable the per-process warmed-trace memo (measurement
+#: hook for the dispatch benchmark; the default is always-on).
+TRACE_MEMO_ENV = "REPRO_EXP_TRACE_MEMO"
+
 
 @lru_cache(maxsize=_TRACE_CACHE_SIZE)
+def _generate_trace(benchmark: str, scale: float, seed: int) -> ApplicationTrace:
+    return get_workload(benchmark).generate(scale=scale, seed=seed)
+
+
 def get_trace(benchmark: str, scale: float, seed: int) -> ApplicationTrace:
     """Return (generating once per process) the trace of ``benchmark``.
 
     Trace generation is deterministic in (benchmark, scale, seed), which is
     what makes specs self-contained: a worker process can regenerate exactly
-    the trace the submitting process described.
+    the trace the submitting process described.  The returned object is the
+    process-wide memoised instance (see the module docstring for why that
+    also carries warmed plan-cache state) unless ``REPRO_EXP_TRACE_MEMO=0``
+    opts out.
     """
-    return get_workload(benchmark).generate(scale=scale, seed=seed)
+    if os.environ.get(TRACE_MEMO_ENV, "") == "0":
+        return get_workload(benchmark).generate(scale=scale, seed=seed)
+    return _generate_trace(benchmark, scale, seed)
 
 
 def run_spec(spec: ExperimentSpec) -> ExperimentResult:

@@ -38,9 +38,28 @@ class DependencyTracker:
         }
         types_by_id = [self._types[name] for name in columns.types.names]
 
-        dependency_counts = columns.dependency_counts().tolist()
-        instruction_counts = columns.instructions.tolist()
-        type_ids = columns.task_type_id.tolist()
+        # The per-record list views and the forward CSR are static
+        # properties of the trace; memoise them on the columns (alongside
+        # the execution plans) so re-simulating the same trace — the hot
+        # pattern in sweeps and benchmarks — skips the array conversions.
+        cached = columns.plan_cache.get("runtime-lists")
+        if cached is None:
+            offsets, targets = columns.dependents_csr()
+            cached = (
+                columns.dependency_counts().tolist(),
+                columns.instructions.tolist(),
+                columns.task_type_id.tolist(),
+                offsets.tolist(),
+                targets.tolist(),
+            )
+            columns.plan_cache["runtime-lists"] = cached
+        (
+            dependency_counts,
+            instruction_counts,
+            type_ids,
+            dependent_offsets,
+            dependent_targets,
+        ) = cached
         self.instances: List[TaskInstance] = [
             TaskInstance(
                 task_type=types_by_id[type_ids[index]],
@@ -54,9 +73,8 @@ class DependencyTracker:
         # Forward edges: dependents of instance i, ascending.  The CSR lists
         # are the tracker's only forward-edge state; the per-instance
         # ``dependents`` sets stay empty (use :meth:`dependents_of`).
-        offsets, targets = columns.dependents_csr()
-        self._dependent_offsets = offsets.tolist()
-        self._dependent_targets = targets.tolist()
+        self._dependent_offsets = dependent_offsets
+        self._dependent_targets = dependent_targets
         self._completed = 0
 
     # ------------------------------------------------------------------

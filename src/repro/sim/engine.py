@@ -18,23 +18,56 @@ accumulate into a columnar :class:`~repro.sim.results.InstanceTable`.  The
 original per-record model (``use_batched=False``) is kept for equivalence
 testing and as the baseline of the hot-path microbenchmark; both paths
 produce bit-identical results.
+
+Deferred grouped dispatch (``use_vector``)
+------------------------------------------
+A dispatched instance's cycle count is only *consumed* when that instance
+could be the next completion on the heap.  The grouped-dispatch path
+therefore defers the detailed evaluation of instances that commute with all
+other deferred instances (different cores, no shared-data writes — see
+:mod:`repro.arch.vector`; same-set accesses at shared levels are serialised
+in-kernel, so set aliasing does not break a group): as long as an
+already-known completion provably precedes every deferred instance's
+completion (its end time is bounded below by the dispatch cycle plus the
+precomputed contention-free dispatch floor), the engine keeps popping known
+completions and dispatching further work.  When the bound no longer
+separates them, the whole deferred group is evaluated at once — in dispatch
+order, so results and statistics are bit-identical to immediate
+evaluation — and pushed onto the heap.  In steady state this yields groups
+close to ``num_threads`` even though the simulated schedule dispatches one
+instance per completion.
+
+Groups execute through one of two backends, chosen by a measured adaptive
+policy in :meth:`SimulationEngine._run_grouped`: the scalar grouped
+executor (plain :class:`~repro.arch.batch.BatchedCoreExecutor` calls) or
+the vectorised walk kernel (:class:`~repro.arch.vector.VectorWalkEngine`).
+The engine first measures scalar per-event cost over a warm-up window,
+then — if the trace is event-heavy enough for the kernel's fixed overhead
+to amortise — trials the kernel over a few groups and keeps whichever
+backend is faster, deactivating the kernel (flushing its array state back
+to the dict tag stores) when the trial loses.  Both backends are
+bit-identical, so the choice affects wall time only; per-run coverage is
+reported in :attr:`SimulationEngine.vector_stats`.
 """
 
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Callable, List, Optional
 
 from repro.arch.batch import BatchedCoreExecutor
+from repro.arch.vector import VectorWalkEngine
 from repro.arch.config import ArchitectureConfig
 from repro.arch.core import DetailedCoreModel
 from repro.arch.hierarchy import MemorySystem
 from repro.arch.rob import RobModel
 from repro.runtime.runtime import RuntimeSystem
 from repro.runtime.scheduler import Scheduler
-from repro.runtime.task import TaskInstance
+from repro.runtime.task import TaskInstance, TaskState
 from repro.sim.cost import SimulationCost
 from repro.sim.modes import (
+    DETAILED_DECISION,
     AlwaysDetailedController,
     CompletionInfo,
     ModeController,
@@ -82,6 +115,11 @@ class SimulationEngine:
         Use the batched columnar executor for detailed mode (default).  The
         per-record ``DetailedCoreModel`` path produces bit-identical results
         and remains available as the microbenchmark baseline.
+    use_vector:
+        Use the deferred grouped-dispatch path feeding commuting instances
+        to the vectorised walk engine (default when ``use_batched``; forced
+        off otherwise).  Results are bit-identical either way; the flag
+        exists for equivalence testing and benchmarking.
     """
 
     def __init__(
@@ -93,6 +131,7 @@ class SimulationEngine:
         controller: Optional[ModeController] = None,
         noise_model: Optional[NoiseModel] = None,
         use_batched: bool = True,
+        use_vector: Optional[bool] = None,
     ) -> None:
         if num_threads < 1:
             raise ValueError("num_threads must be >= 1")
@@ -115,6 +154,24 @@ class SimulationEngine:
             if use_batched
             else None
         )
+        if use_vector is None:
+            use_vector = use_batched
+        # A single worker never accumulates a group; skip the bookkeeping.
+        self.vector: Optional[VectorWalkEngine] = (
+            VectorWalkEngine(self.batched)
+            if use_vector and self.batched is not None and num_threads > 1
+            else None
+        )
+        #: Coverage counters of the grouped-dispatch path (vector-walked vs
+        #: scalar-executed detailed instances, group count and sizes).  Kept
+        #: on the engine — never in :class:`SimulationResult` — so stored
+        #: experiment payloads stay byte-identical across backends.
+        self.vector_stats = {
+            "vector_instances": 0,
+            "scalar_instances": 0,
+            "groups": 0,
+            "max_group": 0,
+        }
         self.cost = SimulationCost()
         self._sequence = 0
 
@@ -153,6 +210,8 @@ class SimulationEngine:
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Simulate the complete application and return the result."""
+        if self.vector is not None:
+            return self._run_grouped()
         current_cycle = 0.0
         # Min-heap of idle worker ids: dispatch always picks the lowest id
         # first, at O(log n) per push/pop instead of the O(n) pop(0)/sort of
@@ -162,6 +221,11 @@ class SimulationEngine:
         completions: List[tuple] = []
         running: set = set()
         results = InstanceTable()
+        controller = self.controller
+        # The default controller's decision is a singleton constant and its
+        # completion callback is a no-op: skip both calls (and the
+        # CompletionInfo construction) in the hot loop.
+        fast_detailed = type(controller) is AlwaysDetailedController
 
         while not self.runtime.finished():
             # Dispatch ready instances to idle workers.  Assignments are
@@ -178,8 +242,12 @@ class SimulationEngine:
                 assignments.append((worker_id, instance))
             active_workers = len(running) + len(assignments)
             for worker_id, instance in assignments:
-                decision = self.controller.choose_mode(
-                    instance, worker_id, active_workers, current_cycle
+                decision = (
+                    DETAILED_DECISION
+                    if fast_detailed
+                    else controller.choose_mode(
+                        instance, worker_id, active_workers, current_cycle
+                    )
                 )
                 instance.mark_running(worker_id, current_cycle)
                 if decision.mode is SimulationMode.DETAILED:
@@ -211,19 +279,20 @@ class SimulationEngine:
             running.remove(worker_id)
             instance.mark_completed(current_cycle)
             start_cycle = instance.start_cycle
-            self.controller.notify_completion(
-                CompletionInfo(
-                    instance,
-                    decision.mode,
-                    current_cycle - start_cycle,
-                    completion_ipc,
-                    decision.is_warmup,
-                    start_cycle,
-                    current_cycle,
-                    worker_id,
-                    len(running) + 1,
+            if not fast_detailed:
+                controller.notify_completion(
+                    CompletionInfo(
+                        instance,
+                        decision.mode,
+                        current_cycle - start_cycle,
+                        completion_ipc,
+                        decision.is_warmup,
+                        start_cycle,
+                        current_cycle,
+                        worker_id,
+                        len(running) + 1,
+                    )
                 )
-            )
             self.runtime.notify_completion(instance, worker_id)
             heapq.heappush(idle_workers, worker_id)
             results.append(
@@ -238,6 +307,332 @@ class SimulationEngine:
                 decision.is_warmup,
             )
 
+        return SimulationResult(
+            benchmark=self.trace.name,
+            architecture=self.architecture.name,
+            num_threads=self.num_threads,
+            total_cycles=current_cycle,
+            instances=results,
+            cost=self.cost,
+            metadata={"scheduler": type(self.runtime.scheduler).__name__},
+        )
+
+    # ------------------------------------------------------------------
+    def _run_grouped(self) -> SimulationResult:
+        """The deferred grouped-dispatch variant of :meth:`run`.
+
+        Control flow, float operation order and heap semantics replay
+        :meth:`run` exactly; the only difference is *when* commuting
+        detailed instances are evaluated (grouped, at the latest point the
+        completion order still provably matches) and *how* (vector kernel
+        for large groups, scalar executor otherwise).
+        """
+        current_cycle = 0.0
+        idle_workers: List[int] = list(range(self.num_threads))
+        heapq.heapify(idle_workers)
+        completions: List[tuple] = []
+        running: set = set()
+        results = InstanceTable()
+
+        vector = self.vector
+        batched = self.batched
+        noise_model = self.noise_model
+        cycles_floor = batched.plan.cycles_floor_list
+        detail_events = batched.detail_events
+        stats = self.vector_stats
+        controller = self.controller
+        fast_detailed = type(controller) is AlwaysDetailedController
+
+        # Hot-loop bindings.  This method is the default detailed path and
+        # its per-instance engine overhead is directly visible in the
+        # hot-path benchmark, so method lookups are hoisted and the
+        # checked READY->RUNNING->COMPLETED transitions are inlined (the
+        # instances handed out by ``next_task`` are READY by construction;
+        # :meth:`run` keeps the checked ``mark_*`` API).
+        runtime = self.runtime
+        runtime_finished = runtime.finished
+        next_task = runtime.next_task
+        runtime_notify = runtime.notify_completion
+        cost = self.cost
+        charge_detailed = cost.charge_detailed
+        results_append = results.append
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        choose_mode = controller.choose_mode
+        record_commutes = vector.record_commutes
+        running_state = TaskState.RUNNING
+        completed_state = TaskState.COMPLETED
+        detailed_mode = SimulationMode.DETAILED
+        sequence = self._sequence
+
+        # Deferred entries: (dispatch_cycle, sequence, worker_id, instance,
+        # decision, active_workers, noise, record_index), in dispatch order.
+        deferred: List[tuple] = []
+        deferred_bound = float("inf")
+        deferred_events = 0
+
+        # Adaptive backend choice: both flush paths are bit-identical, so
+        # the pick is purely a throughput matter, and throughput depends on
+        # how the trace's group width and event density interact with the
+        # host — neither is knowable up front, but both are cheap to
+        # *measure*.  Flushes start on the scalar grouped executor (timed).
+        # Once groups look structurally wide and event-rich enough for the
+        # kernel's per-group fixed cost to plausibly amortise, the kernel
+        # runs a timed trial (its first group pays the lazy dict->array
+        # import and is excluded); the faster backend — by measured
+        # per-event wall time — is then committed for the rest of the run.
+        # Abandoning the kernel hands state back to the dicts
+        # (``vector.deactivate``) so the committed scalar path runs with
+        # zero synchronisation overhead.
+        BACKEND_SCALAR_MEASURE = 0
+        BACKEND_KERNEL_TRIAL = 1
+        BACKEND_KERNEL = 2
+        BACKEND_SCALAR = 3
+        backend = BACKEND_SCALAR_MEASURE
+        kernel_threshold = 0.75 * self.num_threads
+        # Structural preconditions for even trialling the kernel: mean
+        # group width near the worker count and enough events per group
+        # that the fixed cost is not hopeless.  An abandoned trial is not
+        # free (the state export back to the dicts costs tens of
+        # milliseconds), so the floor sits at the scalar grouped executor's
+        # empirical break-even (~250 events/group) rather than below it.
+        kernel_event_threshold = 256.0
+        #: Events each timed phase must cover before its mean is trusted.
+        measure_min_events = 512
+        trial_target_groups = 6
+        perf_counter = time.perf_counter
+        groups_seen = 0
+        instances_seen = 0
+        events_seen = 0
+        scalar_time = 0.0
+        scalar_timed_events = 0
+        kernel_time = 0.0
+        kernel_timed_events = 0
+        kernel_trial_groups = -1
+
+        def flush_deferred() -> None:
+            nonlocal deferred_bound, deferred_events
+            nonlocal backend, groups_seen, instances_seen, events_seen
+            nonlocal scalar_time, scalar_timed_events
+            nonlocal kernel_time, kernel_timed_events, kernel_trial_groups
+            size = len(deferred)
+            stats["groups"] += 1
+            if size > stats["max_group"]:
+                stats["max_group"] = size
+            groups_seen += 1
+            instances_seen += size
+            events_seen += deferred_events
+            group = [(e[7], e[2], e[5], e[6]) for e in deferred]
+            if backend == BACKEND_KERNEL:
+                outcomes = vector.execute_group(group)
+                stats["vector_instances"] += size
+            elif backend == BACKEND_SCALAR:
+                outcomes = batched.execute_many(group)
+                stats["scalar_instances"] += size
+            elif backend == BACKEND_SCALAR_MEASURE:
+                start = perf_counter()
+                outcomes = batched.execute_many(group)
+                scalar_time += perf_counter() - start
+                scalar_timed_events += deferred_events
+                stats["scalar_instances"] += size
+                if (
+                    groups_seen >= 8
+                    and scalar_timed_events >= measure_min_events
+                    and instances_seen >= kernel_threshold * groups_seen
+                    and events_seen >= kernel_event_threshold * groups_seen
+                ):
+                    backend = BACKEND_KERNEL_TRIAL
+            else:  # BACKEND_KERNEL_TRIAL
+                if kernel_trial_groups < 0:
+                    # First kernel group: pays the one-off dict->array
+                    # import, so it does not count towards the trial.
+                    outcomes = vector.execute_group(group)
+                    kernel_trial_groups = 0
+                else:
+                    start = perf_counter()
+                    outcomes = vector.execute_group(group)
+                    kernel_time += perf_counter() - start
+                    kernel_timed_events += deferred_events
+                    kernel_trial_groups += 1
+                stats["vector_instances"] += size
+                if (
+                    kernel_trial_groups >= trial_target_groups
+                    and kernel_timed_events >= measure_min_events
+                ):
+                    # Commit to the lower measured time per event.
+                    if (
+                        kernel_time * scalar_timed_events
+                        <= scalar_time * kernel_timed_events
+                    ):
+                        backend = BACKEND_KERNEL
+                    else:
+                        vector.deactivate()
+                        backend = BACKEND_SCALAR
+            instructions_sum = 0
+            for entry, (cycles, ipc) in zip(deferred, outcomes):
+                cycle0, seq, worker, instance, decision, _a, _n, _i = entry
+                instructions_sum += instance.instructions
+                heappush(
+                    completions,
+                    (cycle0 + cycles, seq, worker, instance, decision, ipc),
+                )
+            # Batched cost charging: integer sums, so the aggregate update
+            # leaves the cost counters exactly as per-instance charging
+            # would (``deferred_events`` is the group's event total).
+            cost.detailed_instructions += instructions_sum
+            cost.detailed_instances += size
+            cost.detailed_memory_events += deferred_events
+            deferred.clear()
+            deferred_bound = float("inf")
+            deferred_events = 0
+
+        while not runtime_finished():
+            assignments: List[tuple] = []
+            while idle_workers:
+                worker_id = idle_workers[0]
+                instance = next_task(worker_id)
+                if instance is None:
+                    break
+                heappop(idle_workers)
+                assignments.append((worker_id, instance))
+            active_workers = len(running) + len(assignments)
+            for worker_id, instance in assignments:
+                decision = (
+                    DETAILED_DECISION
+                    if fast_detailed
+                    else choose_mode(
+                        instance, worker_id, active_workers, current_cycle
+                    )
+                )
+                # READY -> RUNNING (inlined mark_running).
+                instance.state = running_state
+                instance.worker_id = worker_id
+                instance.start_cycle = current_cycle
+                sequence += 1
+                if decision.mode is detailed_mode:
+                    noise = (
+                        noise_model(instance) if noise_model is not None else None
+                    )
+                    index = instance.instance_id
+                    if record_commutes(index) and (
+                        noise is None or noise > 0.0
+                    ):
+                        deferred.append(
+                            (
+                                current_cycle,
+                                sequence,
+                                worker_id,
+                                instance,
+                                decision,
+                                active_workers,
+                                noise,
+                                index,
+                            )
+                        )
+                        deferred_events += detail_events(index)
+                        bound = cycles_floor[index]
+                        if noise is not None:
+                            bound *= noise
+                        bound += current_cycle
+                        if bound < deferred_bound:
+                            deferred_bound = bound
+                        running.add(worker_id)
+                        continue
+                    # Shared-data writer (or non-positive noise): order
+                    # matters against everything — drain the group first.
+                    if deferred:
+                        flush_deferred()
+                    if (noise is None or noise > 0.0) and vector.kernel_active():
+                        # Writer on the array state: its own walk plus the
+                        # coherence invalidations, no dict round trip.
+                        cycles, ipc = vector.execute_writer(
+                            index, worker_id, active_workers, noise
+                        )
+                        stats["vector_instances"] += 1
+                    else:
+                        # Kernel never materialised (nothing commutes in
+                        # this trace) or pathological noise: scalar path
+                        # with synced tag stores.
+                        token = vector.prepare_fallback(index, worker_id)
+                        cycles, ipc = batched.execute(
+                            index,
+                            worker_id,
+                            active_cores=active_workers,
+                            noise=noise,
+                        )
+                        vector.finish_fallback(token)
+                        stats["scalar_instances"] += 1
+                    charge_detailed(
+                        instructions=instance.instructions,
+                        memory_events=detail_events(index),
+                    )
+                else:
+                    cycles, ipc = self._execute_burst(instance, decision.ipc)
+                heappush(
+                    completions,
+                    (current_cycle + cycles, sequence, worker_id, instance,
+                     decision, ipc),
+                )
+                running.add(worker_id)
+
+            # A known completion can be popped only while it strictly
+            # precedes every deferred instance's completion (the bound is a
+            # lower bound on deferred end times, so ``< bound`` suffices);
+            # on ties or overshoot, flush — heap order then decides.
+            if deferred and (
+                not completions or completions[0][0] >= deferred_bound
+            ):
+                flush_deferred()
+            if not completions:
+                if runtime_finished():
+                    break
+                raise DeadlockError(
+                    f"no runnable tasks but {self.runtime.num_instances - self.runtime.num_completed}"
+                    " instances remain; the trace's dependency graph cannot progress"
+                )
+
+            current_cycle, _, worker_id, instance, decision, completion_ipc = (
+                heappop(completions)
+            )
+            running.remove(worker_id)
+            # RUNNING -> COMPLETED (inlined mark_completed).
+            instance.state = completed_state
+            instance.end_cycle = current_cycle
+            start_cycle = instance.start_cycle
+            if not fast_detailed:
+                controller.notify_completion(
+                    CompletionInfo(
+                        instance,
+                        decision.mode,
+                        current_cycle - start_cycle,
+                        completion_ipc,
+                        decision.is_warmup,
+                        start_cycle,
+                        current_cycle,
+                        worker_id,
+                        len(running) + 1,
+                    )
+                )
+            runtime_notify(instance, worker_id)
+            heappush(idle_workers, worker_id)
+            results_append(
+                instance.instance_id,
+                instance.task_type.name,
+                worker_id,
+                decision.mode is detailed_mode,
+                instance.instructions,
+                start_cycle,
+                current_cycle,
+                completion_ipc,
+                decision.is_warmup,
+            )
+
+        self._sequence = sequence
+        # Drain the kernel's deferred integer statistics into the cache
+        # counters.  Tag-store contents stay array-side — nothing in the
+        # production path reads the OrderedDicts after a run; callers that
+        # do inspect them (the equivalence tests) call ``flush_state()``.
+        vector.flush_statistics()
         return SimulationResult(
             benchmark=self.trace.name,
             architecture=self.architecture.name,

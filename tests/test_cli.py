@@ -84,3 +84,27 @@ class TestCommands:
         ])
         assert code == 2
         assert "--workers" in capsys.readouterr().err
+
+    def test_grid_profile_flag_dumps_stats(self, tmp_path, capsys):
+        import pstats
+
+        profile_path = tmp_path / "grid.prof"
+        code = main([
+            "grid", "--benchmarks", "swaptions", "--threads", "2",
+            "--scale", "0.004", "--profile", str(profile_path),
+        ])
+        assert code == 0
+        assert profile_path.exists()
+        stats = pstats.Stats(str(profile_path))
+        # The dump covers the simulation phase: engine internals must appear.
+        assert any("engine" in str(func[0]) for func in stats.stats)
+
+    def test_sweep_profile_env_dumps_stats(self, tmp_path, monkeypatch, capsys):
+        profile_path = tmp_path / "sweep.prof"
+        monkeypatch.setenv("REPRO_PROFILE", str(profile_path))
+        code = main([
+            "sweep", "W", "--benchmarks", "swaptions", "--threads", "2",
+            "--scale", "0.004", "--values", "1",
+        ])
+        assert code == 0
+        assert profile_path.exists() and profile_path.stat().st_size > 0

@@ -174,6 +174,38 @@ class TestRunSpec:
         assert sampled.total_cycles == reference.sampled_cycles
 
 
+class TestWarmedTraceMemo:
+    def test_memo_returns_one_warmed_instance(self):
+        from repro.exp.runner import get_trace
+
+        first = get_trace("swaptions", SCALE, 1)
+        second = get_trace("swaptions", SCALE, 1)
+        assert second is first
+        # Running a spec on the memoised trace warms its plan cache, and the
+        # warmed state is visible through later get_trace calls — the whole
+        # point of the worker-side memo.
+        run_spec(small_spec().baseline())
+        assert any(
+            isinstance(key, tuple) and key and key[0] == "batched-executor"
+            for key in get_trace("swaptions", SCALE, 1).columns.plan_cache
+        )
+        assert "runtime-lists" in get_trace("swaptions", SCALE, 1).columns.plan_cache
+
+    def test_memo_env_knob_disables_reuse(self, monkeypatch):
+        from repro.exp.runner import TRACE_MEMO_ENV, get_trace
+
+        warmed = get_trace("swaptions", SCALE, 1)
+        monkeypatch.setenv(TRACE_MEMO_ENV, "0")
+        fresh = get_trace("swaptions", SCALE, 1)
+        assert fresh is not warmed
+        assert fresh is not get_trace("swaptions", SCALE, 1)
+        # Results stay identical either way; only the warm-up cost differs.
+        cold = run_spec(small_spec().baseline())
+        monkeypatch.delenv(TRACE_MEMO_ENV)
+        warm = run_spec(small_spec().baseline())
+        assert deterministic_fields(cold) == deterministic_fields(warm)
+
+
 class TestBackendEquivalence:
     def grid(self):
         specs = []

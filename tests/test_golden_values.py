@@ -22,6 +22,7 @@ import pytest
 from repro.arch.config import high_performance_config, low_power_config
 from repro.core.config import lazy_config, periodic_config
 from repro.core.controller import TaskPointController
+from repro.sim.engine import SimulationEngine
 from repro.sim.simulator import TaskSimSimulator
 from repro.workloads.registry import get_workload
 
@@ -178,3 +179,29 @@ def test_golden_simulation_values(traces, workload, arch_name, mode):
         measure_wall_time=False,
     )
     assert _fingerprint(result) == GOLDEN[(workload, arch_name, mode)]
+
+
+#: The three detailed-path backends must all reproduce the golden values:
+#: the default grouped/vectorised engine is covered above (via the
+#: simulator); these pin the batched-scalar path (grouped dispatch off) and
+#: the per-record oracle to the *same* fingerprints, so a drift in any one
+#: implementation — not just a drift in all three at once — fails loudly.
+_BACKEND_FLAGS = {
+    "batched-scalar": {"use_vector": False},
+    "per-record": {"use_batched": False},
+}
+
+
+@pytest.mark.parametrize("backend", sorted(_BACKEND_FLAGS))
+@pytest.mark.parametrize(
+    "workload,arch_name,mode", sorted(GOLDEN), ids=lambda v: str(v)
+)
+def test_golden_values_backend_invariant(traces, workload, arch_name, mode, backend):
+    engine = SimulationEngine(
+        traces[workload],
+        _ARCHITECTURES[arch_name](),
+        num_threads=THREADS,
+        controller=_controller(mode),
+        **_BACKEND_FLAGS[backend],
+    )
+    assert _fingerprint(engine.run()) == GOLDEN[(workload, arch_name, mode)]

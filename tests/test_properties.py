@@ -81,7 +81,7 @@ def test_cache_single_set_never_exceeds_associativity(addresses):
     cache = Cache(CacheConfig(size_bytes=4 * 64, associativity=4, latency_cycles=1))
     for address in addresses:
         cache.access(address)
-    used = sum(len(lines) for lines in cache._sets)
+    used = sum(len(lines) for lines in cache._sets.values())
     assert used <= 4 * cache.config.num_sets
 
 
