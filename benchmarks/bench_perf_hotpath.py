@@ -31,6 +31,7 @@ must stay comparable across PRs.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import platform
@@ -52,14 +53,26 @@ from repro.core.controller import TaskPointController
 from repro.sim.engine import SimulationEngine
 from repro.workloads.registry import get_workload
 
-#: Measured configurations: two mid-size, structurally different workloads
-#: (Cholesky's dependency-rich wavefront; blackscholes' wide fork-join) on
-#: both Table II architectures.
+#: Measured configurations ``(workload, architecture, num_threads)``: two
+#: mid-size, structurally different workloads (Cholesky's dependency-rich
+#: wavefront; blackscholes' wide fork-join) on both Table II architectures
+#: at 8 simulated threads, plus 32/64-thread configurations where dispatch
+#: groups widen past the vector kernel's amortisation point — the committed
+#: record of the kernel's engagement region (``vector_coverage`` > 0 on the
+#: high-performance configs; the low-power hierarchy's shorter latencies
+#: stagger completions, so its groups stay narrow and the 64-thread config
+#: records the p1s1 scalar walk at scale instead).  Cholesky appears only
+#: at 8 threads: its wavefront parallelism saturates below 32 workers at
+#: the bench scale, so wider configs would measure scheduler idle time
+#: rather than walk throughput.
 HOTPATH_CONFIGS = [
-    ("cholesky", "high-performance"),
-    ("cholesky", "low-power"),
-    ("blackscholes", "high-performance"),
-    ("blackscholes", "low-power"),
+    ("cholesky", "high-performance", 8),
+    ("cholesky", "low-power", 8),
+    ("blackscholes", "high-performance", 8),
+    ("blackscholes", "low-power", 8),
+    ("blackscholes", "high-performance", 32),
+    ("blackscholes", "low-power", 64),
+    ("blackscholes", "high-performance", 64),
 ]
 
 #: Hard regression floor for the geometric-mean detailed-mode speedup of the
@@ -84,6 +97,11 @@ def _smoke() -> bool:
 
 def _wall(make_engine):
     engine = make_engine()
+    # Collect before starting the clock: otherwise the previous variant's
+    # garbage (the per-record baseline churns far more objects than the
+    # batched engine) is collected inside this run's timed region, and the
+    # interleaved pairs stop being independent measurements.
+    gc.collect()
     start = time.perf_counter()
     result = engine.run()
     return time.perf_counter() - start, result, engine
@@ -134,6 +152,7 @@ def _measure_config(
     return {
         "workload": workload,
         "architecture": arch_name,
+        "num_threads": num_threads,
         "instances": instances,
         "detailed_legacy_wall_s": legacy_wall,
         "detailed_legacy_instances_per_s": instances / legacy_wall,
@@ -154,14 +173,17 @@ def _measure(
     scale: float, seed: int, num_threads: int, repeats: int, hotpath_configs
 ) -> dict:
     configs = [
-        _measure_config(workload, arch_name, scale, seed, num_threads, repeats)
-        for workload, arch_name in hotpath_configs
+        _measure_config(
+            workload, arch_name, scale, seed, config_threads, repeats
+        )
+        for workload, arch_name, config_threads in hotpath_configs
     ]
     speedups = [config["detailed_speedup"] for config in configs]
     geomean = statistics.geometric_mean(speedups)
 
-    # Sampled-mode throughput (TaskPoint lazy policy) on the first config.
-    workload, arch_name = hotpath_configs[0]
+    # Sampled-mode throughput (TaskPoint lazy policy) on the first config,
+    # at the default thread count.
+    workload, arch_name, _ = hotpath_configs[0]
     trace = get_workload(workload).generate(scale=scale, seed=seed)
 
     def sampled():
@@ -214,15 +236,13 @@ def test_hotpath_throughput(benchmark, workloads_subset):
     repeats = 1 if smoke else 5
     hotpath_configs = HOTPATH_CONFIGS
     if workloads_subset is not None:
-        unknown = set(workloads_subset) - {w for w, _ in HOTPATH_CONFIGS}
+        unknown = set(workloads_subset) - {w for w, _, _ in HOTPATH_CONFIGS}
         assert not unknown, (
             f"--workloads names {sorted(unknown)} not in the hot-path config "
-            f"set {sorted({w for w, _ in HOTPATH_CONFIGS})}"
+            f"set {sorted({w for w, _, _ in HOTPATH_CONFIGS})}"
         )
         hotpath_configs = [
-            (workload, arch_name)
-            for workload, arch_name in HOTPATH_CONFIGS
-            if workload in workloads_subset
+            config for config in HOTPATH_CONFIGS if config[0] in workloads_subset
         ]
     subset = hotpath_configs != HOTPATH_CONFIGS
     measurement = benchmark.pedantic(
@@ -239,12 +259,13 @@ def test_hotpath_throughput(benchmark, workloads_subset):
         json.dumps(measurement, indent=1, sort_keys=True) + "\n", encoding="utf-8"
     )
     lines = [
-        f"Hot-path microbenchmark (scale={scale}, threads={num_threads}, "
+        f"Hot-path microbenchmark (scale={scale}, "
         f"paired medians of {measurement['repeats']})"
     ]
     for config in measurement["configs"]:
         lines.append(
-            f"{config['workload']}/{config['architecture']}: per-record "
+            f"{config['workload']}/{config['architecture']}"
+            f"/t{config['num_threads']}: per-record "
             f"{config['detailed_legacy_wall_s']:.3f} s "
             f"({config['detailed_legacy_instances_per_s']:.0f} inst/s) | batched "
             f"{config['detailed_batched_wall_s']:.3f} s "

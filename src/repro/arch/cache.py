@@ -5,15 +5,25 @@ simulator needs.  It supports shared caches (a single instance accessed by
 all cores), invalidation of lines written by other cores, and statistics
 sufficient to explain detailed-mode IPC: hits, misses, evictions and
 invalidations.
+
+Tag state lives in :mod:`repro.arch.tagstore`: a cache attached to a
+:class:`~repro.arch.tagstore.LevelTagStore` (every cache inside a
+:class:`~repro.arch.hierarchy.MemorySystem`) reads and mutates per-set
+``OrderedDict`` working copies that the store materialises lazily from its
+authoritative NumPy planes whenever the vector kernel has adopted a row; a
+standalone cache simply owns plain lazily-allocated dict sets.  Either way,
+present sets resolve at C dict speed on the scalar hot path.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict, defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.arch.config import CacheConfig
+from repro.arch.tagstore import LevelTagStore, _Line, _SetViews
+
+__all__ = ["Cache", "CacheStatistics", "_Line"]
 
 
 @dataclass
@@ -52,14 +62,6 @@ class CacheStatistics:
         self.writebacks = 0
 
 
-@dataclass
-class _Line:
-    """State of one cached line."""
-
-    dirty: bool = False
-    owner: Optional[int] = None
-
-
 class Cache:
     """A set-associative cache with true-LRU replacement.
 
@@ -69,18 +71,28 @@ class Cache:
         Structural configuration of the cache.
     name:
         Human-readable name used in statistics dumps (``"L1"``, ``"L2"`` ...).
+    store:
+        Optional level tag store this cache registers a working-copy view
+        with; ``None`` (standalone caches, unit tests) keeps all state in
+        the view mapping itself.
     """
 
-    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+    def __init__(
+        self,
+        config: CacheConfig,
+        name: str = "cache",
+        store: Optional[LevelTagStore] = None,
+    ) -> None:
         self.config = config
         self.name = name
         self.stats = CacheStatistics()
-        # One ordered dict per set index: maps line tag -> _Line, LRU order.
-        # Sets are allocated lazily on first touch — large shared caches
-        # (e.g. a 16K-set L3) would otherwise pay tens of milliseconds of
-        # OrderedDict construction per simulated machine for sets the trace
-        # never reaches.
-        self._sets: defaultdict = defaultdict(OrderedDict)
+        # Set index -> OrderedDict of tag -> _Line in LRU order (ascending
+        # recency).  Sets are allocated lazily on first touch, or
+        # materialised from the level store's planes when the vector kernel
+        # holds the row.
+        self._sets: _SetViews = (
+            store.attach() if store is not None else _SetViews(None, 0)
+        )
 
     # ------------------------------------------------------------------
     def _locate(self, address: int) -> tuple:
@@ -119,7 +131,7 @@ class Cache:
     def probe(self, address: int) -> bool:
         """Return ``True`` if ``address`` is present, without changing state."""
         set_index, tag = self._locate(address)
-        lines = self._sets.get(set_index)
+        lines = self._sets.peek(set_index)
         return lines is not None and tag in lines
 
     def _allocate(self, set_index: int, tag: int, is_write: bool, requester: Optional[int]) -> None:
@@ -139,7 +151,7 @@ class Cache:
         caches.
         """
         set_index, tag = self._locate(address)
-        lines = self._sets.get(set_index)
+        lines = self._sets.peek(set_index)
         if lines is not None and tag in lines:
             line = lines.pop(tag)
             self.stats.invalidations += 1
@@ -151,12 +163,16 @@ class Cache:
     # ------------------------------------------------------------------
     def occupancy(self) -> float:
         """Fraction of lines currently valid, in [0, 1]."""
+        self._sets.sync()
         used = sum(len(lines) for lines in self._sets.values())
         capacity = self.config.num_sets * self.config.associativity
         return used / capacity if capacity else 0.0
 
     def flush(self) -> None:
         """Invalidate the entire cache contents (statistics are preserved)."""
+        store = self._sets.store
+        if store is not None:
+            store.release_view(self._sets)
         self._sets.clear()
 
     def reset_statistics(self) -> None:

@@ -16,6 +16,7 @@ from repro.arch.cache import Cache
 from repro.arch.config import ArchitectureConfig, CacheConfig
 from repro.arch.dram import DramModel
 from repro.arch.interconnect import Interconnect
+from repro.arch.tagstore import LevelTagStore
 
 
 @dataclass(frozen=True)
@@ -122,12 +123,33 @@ class MemorySystem:
                 shared_templates.append((name, level))
             else:
                 private_templates.append((name, level))
-        for name, level in shared_templates:
-            self._shared_caches.append(Cache(level, name=name))
+
+        # One authoritative tag store per level, in L1-outwards order
+        # (private levels first, matching ``CacheHierarchy.caches``): a
+        # private level's store spans all cores (row = core * num_sets +
+        # set, views attached in core order below), a shared level's store
+        # has a single view.  The caches' per-set dict working copies are
+        # lazy views of these stores; the vector kernel walks the stores'
+        # NumPy planes directly.
+        private_stores = [
+            LevelTagStore(level.num_sets, level.associativity)
+            for _name, level in private_templates
+        ]
+        shared_stores = [
+            LevelTagStore(level.num_sets, level.associativity)
+            for _name, level in shared_templates
+        ]
+        self.stores: List[LevelTagStore] = private_stores + shared_stores
+
+        for (name, level), store in zip(shared_templates, shared_stores):
+            self._shared_caches.append(Cache(level, name=name, store=store))
 
         self.hierarchies: List[CacheHierarchy] = []
         for core_id in range(num_cores):
-            private = [Cache(level, name=name) for name, level in private_templates]
+            private = [
+                Cache(level, name=name, store=store)
+                for (name, level), store in zip(private_templates, private_stores)
+            ]
             self.hierarchies.append(
                 CacheHierarchy(
                     core_id=core_id,

@@ -28,14 +28,14 @@ oracle throughout.
 
 State representation
 --------------------
-Each cache level keeps a persistent array mirror (tags, dirty bits, owners
-and an LRU stamp per way) of the per-set ``OrderedDict`` stores, with
-per-row freshness flags in both directions: rows the kernel touched are
-exported back to the dicts only when a scalar path (or a final flush) needs
-them, and rows a scalar execution touched are re-imported on the kernel's
-next visit.  LRU order maps exactly onto stamps — an ``OrderedDict``'s
-iteration order is ascending recency, so import assigns ascending stamps and
-export re-inserts in ascending stamp order.
+The authoritative tag state lives in the per-level
+:class:`~repro.arch.tagstore.LevelTagStore` NumPy planes owned by the
+:class:`~repro.arch.hierarchy.MemorySystem`.  The kernel adopts the rows a
+group touches (importing any ``OrderedDict`` working copies a scalar path
+left behind) and walks the planes in place; touched rows simply *stay*
+plane-resident — scalar readers materialise them back lazily through the
+caches' :class:`~repro.arch.tagstore._SetViews`, so there is no per-group
+export and the kernel's fixed overhead is the walk itself.
 
 Every floating-point reduction replays the scalar operation order (per-block
 exposure sums accumulate in event-rank order, per-instance totals in block
@@ -50,287 +50,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.arch.batch import BatchedCoreExecutor
-from repro.arch.cache import Cache, _Line
-
-#: Encoding of ``_Line.owner is None`` in the int64 owner plane.
-_NO_OWNER = -2
-
-
-class _LevelState:
-    """Array mirror of one cache level's tag stores across all cores.
-
-    For a private level the mirror concatenates every core's tag store
-    (row = ``core * num_sets + set``); for a shared level there is a single
-    store (row = ``set``).
-    """
-
-    __slots__ = (
-        "caches",
-        "num_sets",
-        "assoc",
-        "tags",
-        "dirty",
-        "owner",
-        "stamp",
-        "dict_stale",
-        "array_stale",
-        "maybe_stale",
-        "counter",
-    )
-
-    def __init__(self, caches: Sequence[Cache], num_sets: int, assoc: int) -> None:
-        self.caches = list(caches)
-        self.num_sets = num_sets
-        self.assoc = assoc
-        rows = len(self.caches) * num_sets
-        self.tags = np.full((rows, assoc), -1, dtype=np.int64)
-        self.dirty = np.zeros((rows, assoc), dtype=np.bool_)
-        self.owner = np.full((rows, assoc), _NO_OWNER, dtype=np.int64)
-        self.stamp = np.zeros((rows, assoc), dtype=np.int64)
-        #: Rows where the array mirror is ahead of the OrderedDicts.
-        self.dict_stale = np.zeros(rows, dtype=np.bool_)
-        #: Rows where the OrderedDicts are ahead of the array mirror.  The
-        #: dicts are authoritative until a row's first import: scalar
-        #: executions may have touched them before these arrays existed.
-        self.array_stale = np.ones(rows, dtype=np.bool_)
-        #: Cheap scalar gate over ``array_stale``: ``False`` guarantees no
-        #: row is array-stale, so the per-walk stale scan can be skipped
-        #: entirely (the steady state once every row has been imported and
-        #: no scalar fallback runs).
-        self.maybe_stale = True
-        self.counter = 1
-
-    # ------------------------------------------------------------------
-    def _row_set(self, row: int) -> tuple:
-        return self.caches[row // self.num_sets], row % self.num_sets
-
-    def import_rows(self, rows: np.ndarray) -> None:
-        """Refresh the array mirror from the dicts for stale ``rows``."""
-        stale = rows[self.array_stale[rows]]
-        if not stale.size:
-            return
-        tags = self.tags
-        dirty = self.dirty
-        owner = self.owner
-        stamp = self.stamp
-        for row in stale.tolist():
-            cache, set_index = self._row_set(row)
-            tags[row] = -1
-            lines = cache._sets.get(set_index)
-            if lines:
-                base = self.counter
-                self.counter = base + len(lines)
-                for way, (tag, line) in enumerate(lines.items()):
-                    tags[row, way] = tag
-                    dirty[row, way] = line.dirty
-                    owner[row, way] = _NO_OWNER if line.owner is None else line.owner
-                    stamp[row, way] = base + way
-        self.array_stale[stale] = False
-        if not self.array_stale.any():
-            self.maybe_stale = False
-
-    def export_rows(self, rows: np.ndarray) -> None:
-        """Write the array mirror back to the dicts for stale ``rows``."""
-        stale = rows[self.dict_stale[rows]]
-        if not stale.size:
-            return
-        tags = self.tags
-        dirty = self.dirty
-        owner = self.owner
-        stamp = self.stamp
-        for row in stale.tolist():
-            cache, set_index = self._row_set(row)
-            row_tags = tags[row]
-            valid = row_tags != -1
-            if not valid.any():
-                lines = cache._sets.get(set_index)
-                if lines:
-                    lines.clear()
-                continue
-            lines = cache._sets[set_index]
-            lines.clear()
-            ways = np.nonzero(valid)[0]
-            order = ways[np.argsort(stamp[row][ways], kind="stable")]
-            for way in order.tolist():
-                own = owner[row, way]
-                lines[int(row_tags[way])] = _Line(
-                    dirty=bool(dirty[row, way]),
-                    owner=None if own == _NO_OWNER else int(own),
-                )
-        self.dict_stale[stale] = False
-
-    def flush(self) -> None:
-        """Export every row the kernel touched back to the dicts."""
-        rows = np.nonzero(self.dict_stale)[0]
-        if rows.size:
-            self.export_rows(rows)
-
-    # ------------------------------------------------------------------
-    def _step(
-        self,
-        rows: np.ndarray,
-        tags: np.ndarray,
-        writes: np.ndarray,
-        cores: np.ndarray,
-        stamp_value: int,
-        has_writes: bool,
-    ) -> Tuple[np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]:
-        """One lockstep step over events with pairwise-distinct rows.
-
-        Operates in place on the state planes (distinct rows guarantee the
-        scatters never collide).  ``has_writes`` is the caller's stream-wide
-        write flag — when False, the per-step dirty/owner bookkeeping is
-        skipped entirely.  Returns ``(hit, eviction, writeback)``; the last
-        two are ``None`` when every event hit (the common steady state), so
-        callers skip the eviction bookkeeping.
-        """
-        lane_tags = self.tags[rows]
-        match = lane_tags == tags[:, None]
-        hit = match.any(axis=1)
-        way = match.argmax(axis=1)
-        num_hits = int(hit.sum())
-        if num_hits == hit.shape[0]:
-            self.stamp[rows, way] = stamp_value
-            if has_writes and writes.any():
-                write_rows = rows[writes]
-                write_ways = way[writes]
-                self.dirty[write_rows, write_ways] = True
-                self.owner[write_rows, write_ways] = cores[writes]
-            return hit, None, None
-        if num_hits:
-            hit_rows = rows[hit]
-            hit_ways = way[hit]
-            self.stamp[hit_rows, hit_ways] = stamp_value
-            if has_writes:
-                hit_writes = writes[hit]
-                if hit_writes.any():
-                    write_rows = hit_rows[hit_writes]
-                    write_ways = hit_ways[hit_writes]
-                    self.dirty[write_rows, write_ways] = True
-                    self.owner[write_rows, write_ways] = cores[hit][hit_writes]
-        miss = ~hit
-        miss_rows = rows[miss]
-        empty = lane_tags[miss] == -1
-        has_empty = empty.any(axis=1)
-        miss_way = np.where(
-            has_empty,
-            empty.argmax(axis=1),
-            self.stamp[miss_rows].argmin(axis=1),
-        )
-        evicted_miss = ~has_empty
-        wb_miss = self.dirty[miss_rows, miss_way] & evicted_miss
-        self.tags[miss_rows, miss_way] = tags[miss]
-        self.dirty[miss_rows, miss_way] = writes[miss]
-        self.owner[miss_rows, miss_way] = cores[miss]
-        self.stamp[miss_rows, miss_way] = stamp_value
-        evict_out = np.zeros(hit.shape[0], dtype=np.bool_)
-        wb_out = np.zeros(hit.shape[0], dtype=np.bool_)
-        evict_out[miss] = evicted_miss
-        wb_out[miss] = wb_miss
-        return hit, evict_out, wb_out
-
-    def walk(
-        self,
-        rows: np.ndarray,
-        tags: np.ndarray,
-        writes: np.ndarray,
-        cores: np.ndarray,
-        ranks: Optional[np.ndarray] = None,
-        serialise: bool = False,
-        has_writes: bool = True,
-    ) -> Tuple[np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]:
-        """Walk one level's event stream in lockstep.
-
-        ``rows``/``tags``/``writes``/``cores`` describe, in execution order,
-        every event that reaches this level.  Events mapping to distinct
-        rows commute; events sharing a row must be serialised by rank so the
-        per-row access order (and therefore LRU state) matches the scalar
-        walk exactly.  At private levels the caller passes the plan's static
-        per-record ranks (``ranks``; ``None`` when the whole group is known
-        collision-free); at shared levels cross-member collisions are only
-        discoverable dynamically, so ``serialise=True`` ranks the stream by
-        row here.  Returns per-event ``(hit, eviction, writeback)`` with the
-        :meth:`_step` convention for ``None``.
-        """
-        if self.maybe_stale and self.array_stale[rows].any():
-            self.import_rows(np.unique(rows))
-        base = self.counter
-        if ranks is not None:
-            if int(ranks.max()):
-                result = self._walk_ranked(
-                    rows, tags, writes, cores, ranks, base, has_writes
-                )
-            else:
-                result = self._step(rows, tags, writes, cores, base, has_writes)
-                self.counter = base + 1
-        elif serialise:
-            count = rows.shape[0]
-            order = np.argsort(rows, kind="stable")
-            sorted_rows = rows[order]
-            distinct = np.empty(count, dtype=np.bool_)
-            distinct[0] = True
-            np.not_equal(sorted_rows[1:], sorted_rows[:-1], out=distinct[1:])
-            if distinct.all():
-                result = self._step(rows, tags, writes, cores, base, has_writes)
-                self.counter = base + 1
-            else:
-                positions = np.arange(count, dtype=np.int64)
-                segment_start = np.maximum.accumulate(
-                    np.where(distinct, positions, 0)
-                )
-                dynamic = np.empty(count, dtype=np.int64)
-                dynamic[order] = positions - segment_start
-                result = self._walk_ranked(
-                    rows, tags, writes, cores, dynamic, base, has_writes
-                )
-        else:
-            result = self._step(rows, tags, writes, cores, base, has_writes)
-            self.counter = base + 1
-        self.dict_stale[rows] = True
-        return result
-
-    def _walk_ranked(
-        self,
-        rows: np.ndarray,
-        tags: np.ndarray,
-        writes: np.ndarray,
-        cores: np.ndarray,
-        ranks: np.ndarray,
-        base: int,
-        has_writes: bool,
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """One lockstep step per distinct rank value (ranks may be sparse).
-
-        Same-row events never share a rank, so grouping the stream by rank
-        value (stable, hence ascending stream position within each group)
-        yields steps with pairwise-distinct rows that replay each row's
-        access sequence in stream order.
-        """
-        count = rows.shape[0]
-        order = np.argsort(ranks, kind="stable")
-        sorted_ranks = ranks[order]
-        cuts = np.nonzero(sorted_ranks[1:] != sorted_ranks[:-1])[0] + 1
-        starts = np.concatenate(([0], cuts)).tolist()
-        ends = np.concatenate((cuts, [count])).tolist()
-        hit_out = np.empty(count, dtype=np.bool_)
-        evict_out = np.zeros(count, dtype=np.bool_)
-        wb_out = np.zeros(count, dtype=np.bool_)
-        for step_index, (start, end) in enumerate(zip(starts, ends)):
-            select = order[start:end]
-            hit, evicted, wrote_back = self._step(
-                rows[select],
-                tags[select],
-                writes[select],
-                cores[select],
-                base + step_index,
-                has_writes,
-            )
-            hit_out[select] = hit
-            if evicted is not None:
-                evict_out[select] = evicted
-                wb_out[select] = wrote_back
-        self.counter = base + len(starts)
-        return hit_out, evict_out, wb_out
+from repro.arch.tagstore import LevelTagStore
 
 
 class VectorWalkEngine:
@@ -351,18 +71,17 @@ class VectorWalkEngine:
         hierarchy = memory.hierarchy(0)
         self._num_private = len(hierarchy.private_caches)
         self._num_levels = len(hierarchy.caches)
-        self._level_geometry = [
-            (c.config.num_sets, c.config.associativity) for c in hierarchy.caches
-        ]
         self._memory = memory
         self._num_cores = memory.num_cores
-        #: Per-level array states, materialised on first kernel use.
-        self._states: Optional[List[_LevelState]] = None
+        #: Whether the kernel currently owns (some) tag-store rows; the
+        #: memory system's :class:`LevelTagStore` planes are allocated on
+        #: first activation and persist after :meth:`deactivate`.
+        self._active = False
         #: Deferred hit/miss/eviction/writeback/invalidation counters, one
-        #: ``(caches, 5)`` int64 array per level, built with the states and
+        #: ``(views, 5)`` int64 array per level, built with the planes and
         #: drained into the Python statistics objects by
         #: :meth:`flush_statistics`.  Integer counters commute, so deferring
-        #: them to the end of the run is exact; scalar fallbacks keep
+        #: them to the end of the run is exact; scalar paths keep
         #: incrementing the Python objects directly.
         self._stat_acc: Optional[List[np.ndarray]] = None
         #: Per-core, per-private-level statistics objects.
@@ -388,14 +107,14 @@ class VectorWalkEngine:
         return self._commutes[index]
 
     def kernel_active(self) -> bool:
-        """Whether the array states have been materialised.
+        """Whether the kernel may currently hold plane-resident rows.
 
-        Until the first group executes, the ``OrderedDict`` stores are the
-        only state and the scalar path needs no synchronisation — workloads
-        where nothing ever commutes (every record writes shared data) stay
-        entirely on the scalar path with zero kernel overhead.
+        Until the first group executes, the ``OrderedDict`` working copies
+        are the only state and the scalar path needs no synchronisation —
+        workloads where nothing ever commutes (every record writes shared
+        data) stay entirely on the scalar path with zero kernel overhead.
         """
-        return self._states is not None
+        return self._active
 
     def _tables(self, active_cores: int) -> tuple:
         """``(ic_latency, dram_latency, exposure values, exposure flags)``."""
@@ -412,95 +131,48 @@ class VectorWalkEngine:
             self._np_tables[active_cores] = tables
         return tables
 
-    def _ensure_states(self) -> List[_LevelState]:
-        if self._states is None:
-            memory = self._memory
-            states: List[_LevelState] = []
-            for level, (num_sets, assoc) in enumerate(self._level_geometry):
-                if level < self._num_private:
-                    caches = [
-                        memory.hierarchy(core).private_caches[level]
-                        for core in range(memory.num_cores)
-                    ]
-                else:
-                    caches = [memory.shared_caches[level - self._num_private]]
-                states.append(_LevelState(caches, num_sets, assoc))
-            self._states = states
-            self._stat_acc = [
-                np.zeros((len(state.caches), 5), dtype=np.int64)
-                for state in states
-            ]
-        return self._states
+    def _ensure_states(self) -> List[LevelTagStore]:
+        stores = self._memory.stores
+        if not self._active:
+            for store in stores:
+                store.ensure_planes()
+            if self._stat_acc is None:
+                self._stat_acc = [
+                    np.zeros((store.num_views, 5), dtype=np.int64)
+                    for store in stores
+                ]
+            self._active = True
+        return stores
 
     # ------------------------------------------------------------------
     # Scalar-path interoperation.
-    def prepare_fallback(self, index: int, core_id: int) -> Optional[list]:
-        """Sync dicts before a scalar execution of record ``index``.
-
-        Returns a token to pass to :meth:`finish_fallback` afterwards, or
-        ``None`` when the kernel has never run (nothing to sync).
-        """
-        states = self._states
-        if states is None:
-            return None
-        plan = self.plan
-        offsets = self._record_offsets
-        start = int(offsets[index])
-        end = int(offsets[index + 1])
-        remote = bool(plan.has_shared_write_list[index])
-        num_cores = self._memory.num_cores
-        touched: list = []
-        for level, state in enumerate(states):
-            sets = np.unique(plan.level_set[level][start:end])
-            if level >= self._num_private:
-                rows = sets
-            elif remote:
-                # A shared-data write invalidates the line in every other
-                # core's private caches: the whole column of sets is touched.
-                rows = (
-                    sets[None, :]
-                    + (np.arange(num_cores, dtype=np.int64) * state.num_sets)[
-                        :, None
-                    ]
-                ).ravel()
-            else:
-                rows = sets + core_id * state.num_sets
-            state.export_rows(rows)
-            touched.append(rows)
-        return touched
-
-    def finish_fallback(self, token: Optional[list]) -> None:
-        """Mark rows a scalar execution may have mutated as array-stale."""
-        if token is None:
-            return
-        states = self._states
-        for state, rows in zip(states, token):
-            state.array_stale[rows] = True
-            state.maybe_stale = True
-
     def flush_state(self) -> None:
-        """Export all kernel-side state back to the ``OrderedDict`` stores."""
-        if self._states is not None:
-            for state in self._states:
-                state.flush()
+        """Materialise every plane-resident row into the dict working copies.
+
+        Post-run readers (snapshot tests, occupancy probes) may iterate the
+        caches' set mappings directly; this forces the lazy export for
+        every row the kernel still owns.
+        """
+        for store in self._memory.stores:
+            if store.resident is not None:
+                store.export_all()
 
     def deactivate(self) -> None:
-        """Shut the kernel down and hand all state back to the dict stores.
+        """Stand the kernel down after a lost measured trial.
 
         Called by the engine when its measured trial shows the scalar
         grouped executor outrunning the kernel on this trace/machine
-        combination: the deferred statistics are drained, every
-        kernel-touched row is exported, and the array planes are dropped so
-        the scalar path (and the shared-writer dispatch gate, which keys on
-        :meth:`kernel_active`) runs with zero synchronisation overhead from
-        here on.  The engine may re-materialise the kernel later via
-        :meth:`execute_group`; the lazy import then rebuilds the planes
-        from the (authoritative) dicts.
+        combination: the deferred statistics are drained and the
+        shared-writer dispatch gate (which keys on :meth:`kernel_active`)
+        flips back to the scalar path.  Rows the kernel touched simply stay
+        plane-resident — the scalar walk materialises each one lazily on
+        first touch, so there is no bulk export and abandoning a trial is
+        nearly free.  The engine may re-engage the kernel later via
+        :meth:`execute_group`; adoption then re-imports whatever the scalar
+        paths pulled back out.
         """
         self.flush_statistics()
-        self.flush_state()
-        self._states = None
-        self._stat_acc = None
+        self._active = False
 
     def flush_statistics(self) -> None:
         """Drain the deferred integer counters into the cache statistics."""
@@ -902,8 +574,7 @@ class VectorWalkEngine:
             acc = self._stat_acc[level]
             for other in others:
                 rows = unique_sets + other * state.num_sets
-                if state.maybe_stale and state.array_stale[rows].any():
-                    state.import_rows(np.unique(rows))
+                state.adopt(rows)
                 match = state.tags[rows] == unique_tags[:, None]
                 hit = match.any(axis=1)
                 num_hits = int(hit.sum())
@@ -914,4 +585,3 @@ class VectorWalkEngine:
                 acc[other, 4] += num_hits
                 acc[other, 3] += int(state.dirty[hit_rows, hit_ways].sum())
                 state.tags[hit_rows, hit_ways] = -1
-                state.dict_stale[hit_rows] = True

@@ -44,17 +44,21 @@ the vectorised walk kernel (:class:`~repro.arch.vector.VectorWalkEngine`).
 The engine first measures scalar per-event cost over a warm-up window,
 then — if the trace is event-heavy enough for the kernel's fixed overhead
 to amortise — trials the kernel over a few groups and keeps whichever
-backend is faster, deactivating the kernel (flushing its array state back
-to the dict tag stores) when the trial loses.  Both backends are
-bit-identical, so the choice affects wall time only; per-run coverage is
-reported in :attr:`SimulationEngine.vector_stats`.
+backend is faster, deactivating the kernel when the trial loses (rows the
+kernel touched stay plane-resident in the shared tag stores and the scalar
+walk materialises them lazily, so abandoning costs nothing beyond the trial
+itself).  Both backends are bit-identical, so the choice affects wall time
+only; per-run coverage is reported in
+:attr:`SimulationEngine.vector_stats`, along with a per-phase wall-time
+breakdown when ``$REPRO_PROFILE`` is set.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 import time
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.arch.batch import BatchedCoreExecutor
 from repro.arch.vector import VectorWalkEngine
@@ -149,11 +153,24 @@ class SimulationEngine:
             DetailedCoreModel(core_id, self.memory_system, rob)
             for core_id in range(num_threads)
         ]
+        # Per-phase wall-time breakdown (static precompute / scalar walk /
+        # kernel / lazy export), recorded when ``$REPRO_PROFILE`` is set and
+        # surfaced as ``vector_stats["phase_wall_s"]`` after a grouped run.
+        self._phase_wall: Optional[Dict[str, float]] = (
+            {"static": 0.0, "scalar_walk": 0.0, "kernel": 0.0, "export": 0.0}
+            if os.environ.get("REPRO_PROFILE")
+            else None
+        )
+        static_start = time.perf_counter() if self._phase_wall is not None else 0.0
         self.batched: Optional[BatchedCoreExecutor] = (
             BatchedCoreExecutor(trace.columns, architecture, self.memory_system, rob)
             if use_batched
             else None
         )
+        if self._phase_wall is not None:
+            self._phase_wall["static"] = time.perf_counter() - static_start
+            for store in self.memory_system.stores:
+                store.profile = True
         if use_vector is None:
             use_vector = use_batched
         # A single worker never accumulates a group; skip the bookkeeping.
@@ -378,29 +395,51 @@ class SimulationEngine:
         # *measure*.  Flushes start on the scalar grouped executor (timed).
         # Once groups look structurally wide and event-rich enough for the
         # kernel's per-group fixed cost to plausibly amortise, the kernel
-        # runs a timed trial (its first group pays the lazy dict->array
-        # import and is excluded); the faster backend — by measured
-        # per-event wall time — is then committed for the rest of the run.
-        # Abandoning the kernel hands state back to the dicts
-        # (``vector.deactivate``) so the committed scalar path runs with
-        # zero synchronisation overhead.
+        # runs a timed trial (its first two groups pay plane allocation
+        # and the bulk of row adoption and are excluded); the faster
+        # backend — by measured per-event wall time — is then committed
+        # for the rest of the run, except that a trial measuring hopelessly
+        # behind is abandoned after a couple of counted groups.  Abandoning the kernel is nearly free: rows it touched
+        # stay plane-resident in the level tag stores and the scalar walk
+        # materialises each one lazily on first touch, so ``deactivate``
+        # only drains the deferred statistics.
         BACKEND_SCALAR_MEASURE = 0
         BACKEND_KERNEL_TRIAL = 1
         BACKEND_KERNEL = 2
         BACKEND_SCALAR = 3
         backend = BACKEND_SCALAR_MEASURE
-        kernel_threshold = 0.75 * self.num_threads
-        # Structural preconditions for even trialling the kernel: mean
-        # group width near the worker count and enough events per group
-        # that the fixed cost is not hopeless.  An abandoned trial is not
-        # free (the state export back to the dicts costs tens of
-        # milliseconds), so the floor sits at the scalar grouped executor's
-        # empirical break-even (~250 events/group) rather than below it.
-        kernel_event_threshold = 256.0
+        # Width precondition: groups must run near the worker count wide,
+        # and wide in absolute terms — the kernel's fixed per-group cost
+        # (argsort, masked gathers, statistics scatter) is about as large
+        # as an entire 8-wide scalar group, so single-digit widths cannot
+        # amortise it regardless of event density and are not worth the
+        # trial groups.
+        kernel_threshold = max(0.75 * self.num_threads, 12.0)
+        # Structural precondition for trialling the kernel: enough events
+        # per group that its fixed per-group cost is not hopeless.  With
+        # the per-group export round trip gone a lost trial costs only the
+        # trial groups themselves, so the floor sits well below the scalar
+        # grouped executor's empirical break-even (~250 events/group) —
+        # wide-group traces whose density straddles the boundary get to
+        # measure instead of being pre-judged.
+        kernel_event_threshold = 96.0
         #: Events each timed phase must cover before its mean is trusted.
         measure_min_events = 512
         trial_target_groups = 6
+        # Kernel groups excluded from the trial's timing: the first pays
+        # plane allocation, the second still adopts the bulk of the rows
+        # the scalar measure phase populated — counting either biases the
+        # trial against the kernel's steady state (measured: the second
+        # group runs ~3x its steady cost, enough to flip a ~2x win into a
+        # marginal loss).
+        kernel_warmup_groups = 2
+        # A trial that is hopeless after a couple of counted groups is
+        # abandoned without waiting for the full target, so narrow-group
+        # traces pay only a few slow kernel groups for a lost trial.
+        trial_bailout_groups = 2
+        trial_bailout_ratio = 2.0
         perf_counter = time.perf_counter
+        phase_wall = self._phase_wall
         groups_seen = 0
         instances_seen = 0
         events_seen = 0
@@ -408,13 +447,15 @@ class SimulationEngine:
         scalar_timed_events = 0
         kernel_time = 0.0
         kernel_timed_events = 0
-        kernel_trial_groups = -1
+        kernel_trial_groups = 0
+        kernel_warmup_remaining = kernel_warmup_groups
 
         def flush_deferred() -> None:
             nonlocal deferred_bound, deferred_events
             nonlocal backend, groups_seen, instances_seen, events_seen
             nonlocal scalar_time, scalar_timed_events
             nonlocal kernel_time, kernel_timed_events, kernel_trial_groups
+            nonlocal kernel_warmup_remaining
             size = len(deferred)
             stats["groups"] += 1
             if size > stats["max_group"]:
@@ -424,15 +465,28 @@ class SimulationEngine:
             events_seen += deferred_events
             group = [(e[7], e[2], e[5], e[6]) for e in deferred]
             if backend == BACKEND_KERNEL:
-                outcomes = vector.execute_group(group)
+                if phase_wall is None:
+                    outcomes = vector.execute_group(group)
+                else:
+                    start = perf_counter()
+                    outcomes = vector.execute_group(group)
+                    phase_wall["kernel"] += perf_counter() - start
                 stats["vector_instances"] += size
             elif backend == BACKEND_SCALAR:
-                outcomes = batched.execute_many(group)
+                if phase_wall is None:
+                    outcomes = batched.execute_many(group)
+                else:
+                    start = perf_counter()
+                    outcomes = batched.execute_many(group)
+                    phase_wall["scalar_walk"] += perf_counter() - start
                 stats["scalar_instances"] += size
             elif backend == BACKEND_SCALAR_MEASURE:
                 start = perf_counter()
                 outcomes = batched.execute_many(group)
-                scalar_time += perf_counter() - start
+                elapsed = perf_counter() - start
+                scalar_time += elapsed
+                if phase_wall is not None:
+                    phase_wall["scalar_walk"] += elapsed
                 scalar_timed_events += deferred_events
                 stats["scalar_instances"] += size
                 if (
@@ -443,19 +497,30 @@ class SimulationEngine:
                 ):
                     backend = BACKEND_KERNEL_TRIAL
             else:  # BACKEND_KERNEL_TRIAL
-                if kernel_trial_groups < 0:
-                    # First kernel group: pays the one-off dict->array
-                    # import, so it does not count towards the trial.
-                    outcomes = vector.execute_group(group)
-                    kernel_trial_groups = 0
+                start = perf_counter()
+                outcomes = vector.execute_group(group)
+                elapsed = perf_counter() - start
+                if phase_wall is not None:
+                    phase_wall["kernel"] += elapsed
+                if kernel_warmup_remaining > 0:
+                    # Warm-up groups (allocation + adoption) are excluded;
+                    # the trial measures the kernel's steady state.
+                    kernel_warmup_remaining -= 1
                 else:
-                    start = perf_counter()
-                    outcomes = vector.execute_group(group)
-                    kernel_time += perf_counter() - start
+                    kernel_time += elapsed
                     kernel_timed_events += deferred_events
                     kernel_trial_groups += 1
                 stats["vector_instances"] += size
                 if (
+                    kernel_trial_groups >= trial_bailout_groups
+                    and kernel_timed_events > 0
+                    and kernel_time * scalar_timed_events
+                    > trial_bailout_ratio * scalar_time * kernel_timed_events
+                ):
+                    # Hopelessly behind: stop paying for slow kernel groups.
+                    vector.deactivate()
+                    backend = BACKEND_SCALAR
+                elif (
                     kernel_trial_groups >= trial_target_groups
                     and kernel_timed_events >= measure_min_events
                 ):
@@ -543,24 +608,22 @@ class SimulationEngine:
                     if deferred:
                         flush_deferred()
                     if (noise is None or noise > 0.0) and vector.kernel_active():
-                        # Writer on the array state: its own walk plus the
+                        # Writer on the plane state: its own walk plus the
                         # coherence invalidations, no dict round trip.
                         cycles, ipc = vector.execute_writer(
                             index, worker_id, active_workers, noise
                         )
                         stats["vector_instances"] += 1
                     else:
-                        # Kernel never materialised (nothing commutes in
-                        # this trace) or pathological noise: scalar path
-                        # with synced tag stores.
-                        token = vector.prepare_fallback(index, worker_id)
+                        # Kernel inactive (nothing commutes, or it lost its
+                        # trial) or pathological noise: scalar path — any
+                        # plane-resident rows materialise lazily on touch.
                         cycles, ipc = batched.execute(
                             index,
                             worker_id,
                             active_cores=active_workers,
                             noise=noise,
                         )
-                        vector.finish_fallback(token)
                         stats["scalar_instances"] += 1
                     charge_detailed(
                         instructions=instance.instructions,
@@ -629,10 +692,17 @@ class SimulationEngine:
 
         self._sequence = sequence
         # Drain the kernel's deferred integer statistics into the cache
-        # counters.  Tag-store contents stay array-side — nothing in the
-        # production path reads the OrderedDicts after a run; callers that
-        # do inspect them (the equivalence tests) call ``flush_state()``.
+        # counters.  Tag-store contents stay plane-resident — nothing in
+        # the production path reads the OrderedDicts after a run; callers
+        # that do inspect them (the equivalence tests) call
+        # ``flush_state()``, and any later scalar reader materialises rows
+        # lazily.
         vector.flush_statistics()
+        if phase_wall is not None:
+            phase_wall["export"] = sum(
+                store.export_seconds for store in self.memory_system.stores
+            )
+            stats["phase_wall_s"] = dict(phase_wall)
         return SimulationResult(
             benchmark=self.trace.name,
             architecture=self.architecture.name,

@@ -1,0 +1,119 @@
+"""Tests for scripts/check_hotpath_regression.py (per-config gating)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (
+    Path(__file__).parent.parent / "scripts" / "check_hotpath_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_hotpath_regression", _SCRIPT)
+check = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check)
+
+
+def _config(workload, arch, threads, speedup, coverage=0.0):
+    return {
+        "workload": workload,
+        "architecture": arch,
+        "num_threads": threads,
+        "detailed_speedup": speedup,
+        "vector_coverage": coverage,
+    }
+
+
+def _write(tmp_path, measurement, entries):
+    measurement_path = tmp_path / "perf_hotpath.json"
+    trajectory_path = tmp_path / "BENCH_hotpath.json"
+    measurement_path.write_text(json.dumps(measurement), encoding="utf-8")
+    trajectory_path.write_text(
+        json.dumps({"schema": 1, "benchmark": "hotpath", "entries": entries}),
+        encoding="utf-8",
+    )
+    return [
+        "--measurement", str(measurement_path),
+        "--trajectory", str(trajectory_path),
+        "--slack", "0.5",
+    ]
+
+
+def _entry(configs, geomean, threads=8):
+    return {
+        "configs": configs,
+        "detailed_speedup_geomean": geomean,
+        "num_threads": threads,
+        "date": "2026-01-01",
+    }
+
+
+def test_passes_when_all_configs_hold(tmp_path):
+    committed = [_config("a", "hp", 8, 4.0), _config("b", "hp", 8, 4.0)]
+    fresh = {
+        "configs": [_config("a", "hp", 8, 3.8), _config("b", "hp", 8, 4.1)],
+        "detailed_speedup_geomean": 3.95,
+    }
+    assert check.main(_write(tmp_path, fresh, [_entry(committed, 4.0)])) == 0
+
+
+def test_per_config_floor_not_hidden_by_geomean(tmp_path):
+    # One config collapses to 1x while the other soars: the geomean still
+    # clears the slack, but the per-config gate must catch the collapse.
+    committed = [_config("a", "hp", 8, 4.0), _config("b", "hp", 8, 4.0)]
+    fresh = {
+        "configs": [_config("a", "hp", 8, 1.0), _config("b", "hp", 8, 9.0)],
+        "detailed_speedup_geomean": 3.0,
+    }
+    assert check.main(_write(tmp_path, fresh, [_entry(committed, 4.0)])) == 1
+
+
+def test_new_configs_tolerated_and_not_gated(tmp_path):
+    # A config added since the committed entry has no reference; even an
+    # abysmal speedup there must not fail the gate (it is reported only),
+    # and it must not drag the shared-config geomean either.
+    committed = [_config("a", "hp", 8, 4.0)]
+    fresh = {
+        "configs": [
+            _config("a", "hp", 8, 4.0),
+            _config("a", "hp", 64, 1.1, coverage=0.5),
+        ],
+        "detailed_speedup_geomean": 2.1,
+    }
+    assert check.main(_write(tmp_path, fresh, [_entry(committed, 4.0)])) == 0
+
+
+def test_same_workload_different_threads_are_distinct_configs(tmp_path):
+    committed = [_config("a", "hp", 8, 4.0), _config("a", "hp", 32, 4.0)]
+    fresh = {
+        "configs": [_config("a", "hp", 8, 4.0), _config("a", "hp", 32, 1.0)],
+        "detailed_speedup_geomean": 2.0,
+    }
+    assert check.main(_write(tmp_path, fresh, [_entry(committed, 4.0)])) == 1
+
+
+def test_legacy_entry_without_per_config_threads(tmp_path):
+    # Entries recorded before per-config thread counts carry only the
+    # entry-level num_threads; those configs must key against it.
+    committed = [
+        {"workload": "a", "architecture": "hp", "detailed_speedup": 4.0,
+         "vector_coverage": 0.0},
+    ]
+    fresh = {
+        "configs": [_config("a", "hp", 8, 3.9)],
+        "detailed_speedup_geomean": 3.9,
+        "num_threads": 8,
+    }
+    assert check.main(_write(tmp_path, fresh, [_entry(committed, 4.0)])) == 0
+
+
+def test_subset_runs_skip(tmp_path):
+    committed = [_config("a", "hp", 8, 4.0)]
+    fresh = {
+        "configs": [_config("a", "hp", 8, 0.5)],
+        "detailed_speedup_geomean": 0.5,
+        "workload_subset": True,
+    }
+    assert check.main(_write(tmp_path, fresh, [_entry(committed, 4.0)])) == 0
