@@ -1,0 +1,231 @@
+"""Stratified-sampling accuracy/efficiency benchmark (BENCH_sampling trajectory).
+
+Runs the two-phase stratified engine and the paper's periodic TaskPoint
+configuration over the full 19-workload registry against shared detailed
+baselines, and records the quality trade-off the stratified engine is
+supposed to win: comparable error inside the Figure 7-10 bounds at a
+substantially lower detailed-instance budget, with a 95% confidence interval
+that actually covers the detailed execution time.
+
+The measured numbers are **deterministic** in (scale, seed, thread count) —
+no wall-clock is involved — so unlike the hot-path microbenchmark the
+regression gate (``scripts/check_sampling_regression.py``) can compare
+fresh numbers against the committed trajectory with tight slack.  Smoke mode
+(``REPRO_BENCH_SMOKE=1``) keeps **all** workloads and drops the scale
+instead; the trajectory file stores one entry per scale, and the gate
+compares only same-scale entries, so the committed record holds both the
+full-scale entry and the CI-scale one.
+
+Environment knobs: ``REPRO_BENCH_SAMPLING_SCALE`` overrides the bench's own
+scale (default 0.05 full / 0.02 smoke — deliberately independent of
+``REPRO_BENCH_SCALE`` so the trajectory stays comparable across sessions
+with different figure-harness scales); ``REPRO_BENCH_SEED`` as everywhere;
+``--workloads=a,b`` restricts to a subset for iteration (subset runs never
+assert the quality floor nor append to the trajectory).  Set
+``REPRO_BENCH_RECORD=1`` to append the measurement to the repository-root
+``BENCH_sampling.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from datetime import datetime, timezone
+from pathlib import Path
+
+from common import (
+    HIGH_PERFORMANCE,
+    RESULTS_DIR,
+    all_benchmark_names,
+    bench_seed,
+    write_result,
+)
+from repro.analysis.accuracy import evaluate_specs, grid_specs, summarize
+from repro.analysis.reporting import format_table, render_accuracy_table
+from repro.core.config import TaskPointConfig
+from repro.core.stratified import StratifiedConfig
+
+TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_sampling.json"
+
+#: Single simulated thread count: the per-stratum IPC estimator is
+#: thread-count-sensitive (resampling on change), so one mid-range count
+#: keeps the bench cheap while the figure harnesses cover the sweeps.
+NUM_THREADS = 4
+
+#: Bench-owned scales (see module docstring): the full-scale entry is the
+#: acceptance record; the smoke scale matches what CI can afford and gets
+#: its own trajectory entry.
+FULL_SCALE = 0.05
+SMOKE_SCALE = 0.02
+
+#: Quality floor asserted on full (non-smoke, non-subset) runs — the
+#: Figure 7-10 error bounds plus the stratified engine's own targets:
+#: no more than 60% of periodic's detailed-instance budget, and the 95%
+#: interval covering the detailed execution time on at least 90% of the
+#: workloads.
+MAX_AVG_ERROR = 5.0
+MAX_MEDIAN_ERROR = 2.0
+MAX_MAX_ERROR = 45.0
+MAX_DETAIL_RATIO = 0.6
+MIN_CI_COVERAGE = 0.9
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _sampling_scale() -> float:
+    override = os.environ.get("REPRO_BENCH_SAMPLING_SCALE")
+    if override:
+        return float(override)
+    return SMOKE_SCALE if _smoke() else FULL_SCALE
+
+
+def _evaluate(workloads, config, scale, seed):
+    specs = grid_specs(
+        workloads, [NUM_THREADS], architecture=HIGH_PERFORMANCE,
+        config=config, scale=scale, seed=seed,
+    )
+    return evaluate_specs(specs)
+
+
+def _measure(workloads, scale, seed) -> dict:
+    stratified_config = StratifiedConfig()
+    stratified = _evaluate(workloads, stratified_config, scale, seed)
+    periodic = _evaluate(workloads, TaskPointConfig(), scale, seed)
+
+    rows = []
+    for strat_row, periodic_row in zip(stratified, periodic):
+        assert strat_row.benchmark == periodic_row.benchmark
+        rows.append(
+            {
+                "workload": strat_row.benchmark,
+                "stratified_error_percent": strat_row.error_percent,
+                "periodic_error_percent": periodic_row.error_percent,
+                "stratified_detailed_fraction": strat_row.detailed_fraction,
+                "periodic_detailed_fraction": periodic_row.detailed_fraction,
+                "ci_half_width_percent": strat_row.ci_half_width_percent,
+                "ci_covers_detailed": strat_row.ci_covers_detailed,
+                "stratified_speedup": strat_row.speedup,
+                "periodic_speedup": periodic_row.speedup,
+            }
+        )
+
+    strat_summary = summarize(stratified)
+    periodic_summary = summarize(periodic)
+    strat_detail = sum(row.detailed_fraction for row in stratified)
+    periodic_detail = sum(row.detailed_fraction for row in periodic)
+    return {
+        "scale": scale,
+        "seed": seed,
+        "num_threads": NUM_THREADS,
+        "budget": stratified_config.budget,
+        "strata_per_type": stratified_config.strata_per_type,
+        "workloads": rows,
+        "stratified_avg_error_percent": strat_summary.average_error_percent,
+        "stratified_median_error_percent": strat_summary.median_error_percent,
+        "stratified_max_error_percent": strat_summary.max_error_percent,
+        "periodic_avg_error_percent": periodic_summary.average_error_percent,
+        "periodic_median_error_percent": periodic_summary.median_error_percent,
+        "periodic_max_error_percent": periodic_summary.max_error_percent,
+        "ci_coverage": strat_summary.ci_coverage,
+        "avg_ci_half_width_percent": strat_summary.average_ci_half_width_percent,
+        "detail_ratio": strat_detail / periodic_detail if periodic_detail else None,
+        "_stratified_results": stratified,
+    }
+
+
+def _record_trajectory(measurement: dict) -> None:
+    """Append a datapoint to the committed BENCH_sampling.json trajectory."""
+    if TRAJECTORY_PATH.exists():
+        trajectory = json.loads(TRAJECTORY_PATH.read_text(encoding="utf-8"))
+    else:
+        trajectory = {"schema": 1, "benchmark": "sampling", "entries": []}
+    entry = dict(measurement)
+    entry["date"] = datetime.now(timezone.utc).strftime("%Y-%m-%d")
+    entry["python"] = platform.python_version()
+    entry["machine"] = platform.machine()
+    trajectory["entries"].append(entry)
+    TRAJECTORY_PATH.write_text(
+        json.dumps(trajectory, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def test_sampling_quality(benchmark, workloads_subset):
+    """Measure stratified-vs-periodic sampling quality; write the JSON."""
+    smoke = _smoke()
+    scale = _sampling_scale()
+    seed = bench_seed()
+    workloads = all_benchmark_names()
+    if workloads_subset is not None:
+        unknown = set(workloads_subset) - set(workloads)
+        assert not unknown, f"--workloads names {sorted(unknown)} are unknown"
+        workloads = [name for name in workloads if name in workloads_subset]
+    subset = workloads != all_benchmark_names()
+
+    measurement = benchmark.pedantic(
+        _measure, args=(workloads, scale, seed), rounds=1, iterations=1
+    )
+    stratified_results = measurement.pop("_stratified_results")
+    measurement["smoke"] = smoke
+    measurement["workload_subset"] = subset
+
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "sampling.json").write_text(
+        json.dumps(measurement, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    parts = [
+        render_accuracy_table(
+            stratified_results,
+            title=(
+                f"Stratified sampling (budget={measurement['budget']}), "
+                f"high-performance architecture, {NUM_THREADS} threads, "
+                f"scale={scale}"
+            ),
+        ),
+        "",
+        format_table(
+            ["mode", "avg err [%]", "median err [%]", "max err [%]",
+             "detailed frac (sum)"],
+            [
+                ["stratified",
+                 measurement["stratified_avg_error_percent"],
+                 measurement["stratified_median_error_percent"],
+                 measurement["stratified_max_error_percent"],
+                 sum(r["stratified_detailed_fraction"]
+                     for r in measurement["workloads"])],
+                ["periodic",
+                 measurement["periodic_avg_error_percent"],
+                 measurement["periodic_median_error_percent"],
+                 measurement["periodic_max_error_percent"],
+                 sum(r["periodic_detailed_fraction"]
+                     for r in measurement["workloads"])],
+            ],
+        ),
+        f"detailed-budget ratio (stratified/periodic): "
+        f"{measurement['detail_ratio']:.2f}",
+    ]
+    text = "\n".join(parts)
+    write_result("sampling", text)
+    print(text)
+
+    # Trajectory entries and the quality floor are defined over the full
+    # workload set only; a --workloads subset run is for iteration.
+    if os.environ.get("REPRO_BENCH_RECORD", "") not in ("", "0") and not subset:
+        _record_trajectory(measurement)
+
+    if not subset and not smoke:
+        assert measurement["stratified_avg_error_percent"] < MAX_AVG_ERROR
+        assert measurement["stratified_median_error_percent"] < MAX_MEDIAN_ERROR
+        assert measurement["stratified_max_error_percent"] < MAX_MAX_ERROR
+        assert measurement["detail_ratio"] <= MAX_DETAIL_RATIO, (
+            f"stratified spent {measurement['detail_ratio']:.2f}x of periodic's "
+            f"detailed budget (target <= {MAX_DETAIL_RATIO})"
+        )
+        assert measurement["ci_coverage"] >= MIN_CI_COVERAGE, (
+            f"95% CI covered detailed on only "
+            f"{measurement['ci_coverage']:.0%} of workloads "
+            f"(target >= {MIN_CI_COVERAGE:.0%})"
+        )

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Gate CI on the stratified-sampling quality trajectory.
+
+Compares the *fresh* sampling measurement
+(``benchmarks/results/sampling.json``, written by
+``benchmarks/bench_sampling.py`` on every run, including smoke runs)
+against the last committed ``BENCH_sampling.json`` entry **recorded at the
+same scale and seed** — the measured quantities (execution-time error,
+detailed-budget ratio, CI coverage) are deterministic in (scale, seed,
+thread count), so unlike the wall-clock hot-path gate this one can run with
+tight slack.
+
+Gates, all over the shared workload set:
+
+* average stratified error must not grow by more than ``--error-slack``
+  percentage points,
+* every individual workload's stratified error likewise (so one workload
+  cannot hide behind the average),
+* the detailed-budget ratio (stratified/periodic) must not grow by more
+  than ``--ratio-slack``,
+* the 95% CI coverage must not drop by more than ``--coverage-slack``.
+
+Workloads added since the committed entry are reported but not gated;
+subset (``--workloads``) measurements are skipped outright, as is a fresh
+measurement whose (scale, seed) no committed entry matches.
+
+Usage::
+
+    python scripts/check_sampling_regression.py [--error-slack 1.0] \
+        [--ratio-slack 0.05] [--coverage-slack 0.10] \
+        [--measurement benchmarks/results/sampling.json] \
+        [--trajectory BENCH_sampling.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--measurement",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "results" / "sampling.json",
+        help="fresh measurement JSON written by bench_sampling.py",
+    )
+    parser.add_argument(
+        "--trajectory",
+        type=Path,
+        default=REPO_ROOT / "BENCH_sampling.json",
+        help="committed trajectory file (last same-scale entry is the reference)",
+    )
+    parser.add_argument(
+        "--error-slack",
+        type=float,
+        default=1.0,
+        help="allowed per-workload / average error growth in percentage points",
+    )
+    parser.add_argument(
+        "--ratio-slack",
+        type=float,
+        default=0.05,
+        help="allowed growth of the stratified/periodic detailed-budget ratio",
+    )
+    parser.add_argument(
+        "--coverage-slack",
+        type=float,
+        default=0.10,
+        help="allowed drop of the 95% CI coverage fraction",
+    )
+    args = parser.parse_args(argv)
+
+    measurement = json.loads(args.measurement.read_text(encoding="utf-8"))
+    trajectory = json.loads(args.trajectory.read_text(encoding="utf-8"))
+    entries = trajectory.get("entries", [])
+    if not entries:
+        print("trajectory has no entries; nothing to gate against")
+        return 0
+    if measurement.get("workload_subset"):
+        print("measurement is a --workloads subset run; not comparable, skipping")
+        return 0
+
+    scale, seed = measurement.get("scale"), measurement.get("seed")
+    matching = [
+        entry for entry in entries
+        if entry.get("scale") == scale and entry.get("seed") == seed
+    ]
+    if not matching:
+        print(
+            f"no committed entry at scale={scale} seed={seed}; "
+            "nothing comparable, skipping"
+        )
+        return 0
+    reference = matching[-1]
+
+    failures = []
+
+    fresh_avg = measurement["stratified_avg_error_percent"]
+    committed_avg = reference["stratified_avg_error_percent"]
+    ceiling = committed_avg + args.error_slack
+    verdict = "OK" if fresh_avg <= ceiling else "REGRESSION"
+    if fresh_avg > ceiling:
+        failures.append("average error")
+    print(
+        f"stratified average error (scale={scale}): fresh {fresh_avg:.2f}% vs "
+        f"committed {committed_avg:.2f}% ({reference.get('date', '?')}); "
+        f"ceiling {ceiling:.2f}% -> {verdict}"
+    )
+
+    fresh_ratio = measurement.get("detail_ratio")
+    committed_ratio = reference.get("detail_ratio")
+    if fresh_ratio is not None and committed_ratio is not None:
+        ceiling = committed_ratio + args.ratio_slack
+        ok = fresh_ratio <= ceiling
+        if not ok:
+            failures.append("detailed-budget ratio")
+        print(
+            f"detailed-budget ratio: fresh {fresh_ratio:.2f} vs committed "
+            f"{committed_ratio:.2f}; ceiling {ceiling:.2f} -> "
+            f"{'OK' if ok else 'REGRESSION'}"
+        )
+
+    fresh_coverage = measurement.get("ci_coverage")
+    committed_coverage = reference.get("ci_coverage")
+    if fresh_coverage is not None and committed_coverage is not None:
+        floor = committed_coverage - args.coverage_slack
+        ok = fresh_coverage >= floor
+        if not ok:
+            failures.append("ci coverage")
+        print(
+            f"95% CI coverage: fresh {fresh_coverage:.2f} vs committed "
+            f"{committed_coverage:.2f}; floor {floor:.2f} -> "
+            f"{'OK' if ok else 'REGRESSION'}"
+        )
+
+    committed_rows = {
+        row["workload"]: row for row in reference.get("workloads", ())
+    }
+    for row in measurement.get("workloads", ()):
+        name = row["workload"]
+        fresh_error = row["stratified_error_percent"]
+        committed_row = committed_rows.get(name)
+        if committed_row is None:
+            print(f"  {name}: {fresh_error:.2f}% (new workload, not gated)")
+            continue
+        committed_error = committed_row["stratified_error_percent"]
+        ceiling = committed_error + args.error_slack
+        ok = fresh_error <= ceiling
+        if not ok:
+            failures.append(name)
+        print(
+            f"  {name}: fresh {fresh_error:.2f}% vs committed "
+            f"{committed_error:.2f}%, ceiling {ceiling:.2f}% -> "
+            f"{'OK' if ok else 'REGRESSION'}"
+        )
+    measured = {row["workload"] for row in measurement.get("workloads", ())}
+    for name in sorted(set(committed_rows) - measured):
+        print(f"  {name}: in committed entry but not measured; skipped")
+
+    if failures:
+        print(
+            f"sampling-quality regression in: {', '.join(failures)} — the "
+            "stratified estimator drifted beyond the committed trajectory; "
+            "inspect benchmarks/results/sampling.{json,txt} and see "
+            "EXPERIMENTS.md for the recording procedure",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,13 +21,20 @@ from repro.arch.config import ArchitectureConfig
 from repro.core.api import compare_with_detailed
 from repro.core.config import TaskPointConfig
 from repro.exp.backends import ExecutionBackend, Store, run_experiments
-from repro.exp.spec import ExperimentResult, ExperimentSpec
+from repro.exp.spec import ExperimentResult, ExperimentSpec, SamplingConfig
 from repro.trace.trace import ApplicationTrace
 
 
 @dataclass(frozen=True)
 class AccuracyResult:
-    """Error/speedup of one (benchmark, architecture, threads) experiment."""
+    """Error/speedup of one (benchmark, architecture, threads) experiment.
+
+    The ``ci_*`` fields are only populated for sampling modes that report a
+    confidence interval (the stratified engine); they stay ``None`` for
+    TaskPoint's periodic/lazy modes.  ``ci_covers_detailed`` is the headline
+    check — whether the reported 95% interval contains the detailed-mode
+    execution time the sampled run is estimating.
+    """
 
     benchmark: str
     architecture: str
@@ -39,11 +46,20 @@ class AccuracyResult:
     sampled_cycles: float
     detailed_fraction: float
     resamples: int
+    ci_half_width_percent: Optional[float] = None
+    ci_lower_cycles: Optional[float] = None
+    ci_upper_cycles: Optional[float] = None
+    ci_covers_detailed: Optional[bool] = None
 
 
 @dataclass(frozen=True)
 class AccuracySummary:
-    """Aggregate over a set of accuracy results (one figure's 'average' bar)."""
+    """Aggregate over a set of accuracy results (one figure's 'average' bar).
+
+    ``ci_coverage`` and ``average_ci_half_width_percent`` aggregate the
+    confidence intervals of results that carry one; both are ``None`` when no
+    result in the set does (periodic/lazy grids).
+    """
 
     average_error_percent: float
     median_error_percent: float
@@ -52,6 +68,8 @@ class AccuracySummary:
     min_speedup: float
     max_speedup: float
     count: int
+    ci_coverage: Optional[float] = None
+    average_ci_half_width_percent: Optional[float] = None
 
 
 def evaluate_benchmark(
@@ -93,6 +111,14 @@ def accuracy_from_experiments(
     sampled: ExperimentResult, detailed: ExperimentResult
 ) -> AccuracyResult:
     """Combine a sampled run and its detailed baseline into an accuracy row."""
+    ci_half_width = ci_lower = ci_upper = None
+    ci_covers = None
+    confidence = (sampled.taskpoint or {}).get("confidence")
+    if confidence:
+        ci_half_width = float(confidence["half_width_percent"])
+        ci_lower = float(confidence["lower_cycles"])
+        ci_upper = float(confidence["upper_cycles"])
+        ci_covers = ci_lower <= detailed.total_cycles <= ci_upper
     return AccuracyResult(
         benchmark=sampled.benchmark,
         architecture=sampled.architecture,
@@ -104,6 +130,10 @@ def accuracy_from_experiments(
         sampled_cycles=sampled.total_cycles,
         detailed_fraction=sampled.cost.detailed_fraction,
         resamples=sampled.resamples,
+        ci_half_width_percent=ci_half_width,
+        ci_lower_cycles=ci_lower,
+        ci_upper_cycles=ci_upper,
+        ci_covers_detailed=ci_covers,
     )
 
 
@@ -153,13 +183,17 @@ def grid_specs(
     benchmarks: Sequence[str],
     thread_counts: Sequence[int],
     architecture: Optional[ArchitectureConfig] = None,
-    config: Optional[TaskPointConfig] = None,
+    config: Optional[SamplingConfig] = None,
     scale: float = 0.08,
     seed: int = 1,
     scheduler: str = "fifo",
     scheduler_seed: int = 0,
 ) -> List[ExperimentSpec]:
-    """Sampled specs for every (benchmark, thread count) pair of one figure."""
+    """Sampled specs for every (benchmark, thread count) pair of one figure.
+
+    ``config`` may be a :class:`TaskPointConfig` (periodic/lazy sampling,
+    the default) or a :class:`repro.core.stratified.StratifiedConfig`.
+    """
     config = config if config is not None else TaskPointConfig()
     return [
         ExperimentSpec(
@@ -181,7 +215,7 @@ def evaluate_grid(
     benchmarks: Sequence[str],
     thread_counts: Sequence[int],
     architecture: Optional[ArchitectureConfig] = None,
-    config: Optional[TaskPointConfig] = None,
+    config: Optional[SamplingConfig] = None,
     scale: float = 0.08,
     seed: int = 1,
     scheduler: str = "fifo",
@@ -236,6 +270,14 @@ def summarize(results: Iterable[AccuracyResult]) -> AccuracySummary:
         raise ValueError("cannot summarise an empty result set")
     errors = [result.error_percent for result in results]
     speedups = [result.speedup for result in results]
+    with_ci = [r for r in results if r.ci_covers_detailed is not None]
+    ci_coverage = None
+    average_ci_half_width = None
+    if with_ci:
+        ci_coverage = sum(1 for r in with_ci if r.ci_covers_detailed) / len(with_ci)
+        average_ci_half_width = sum(
+            r.ci_half_width_percent for r in with_ci
+        ) / len(with_ci)
     return AccuracySummary(
         average_error_percent=sum(errors) / len(errors),
         median_error_percent=statistics.median(errors),
@@ -244,6 +286,8 @@ def summarize(results: Iterable[AccuracyResult]) -> AccuracySummary:
         min_speedup=min(speedups),
         max_speedup=max(speedups),
         count=len(results),
+        ci_coverage=ci_coverage,
+        average_ci_half_width_percent=average_ci_half_width,
     )
 
 

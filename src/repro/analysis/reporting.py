@@ -37,10 +37,20 @@ def _format_cell(cell: object) -> str:
 
 
 def render_accuracy_table(results: Sequence[AccuracyResult], title: str = "") -> str:
-    """Render per-benchmark error/speedup rows plus per-thread averages."""
+    """Render per-benchmark error/speedup rows plus per-thread averages.
+
+    When any result carries a confidence interval (stratified-mode runs), a
+    ``ci95 [%]`` half-width column and a per-row coverage marker are added,
+    and the overall summary reports the CI coverage — the fraction of rows
+    whose reported interval contains the detailed-mode execution time.
+    """
+    with_ci = any(result.ci_covers_detailed is not None for result in results)
     headers = ["benchmark", "threads", "error [%]", "speedup", "detailed frac", "resamples"]
-    rows: List[List[object]] = [
-        [
+    if with_ci:
+        headers += ["ci95 [%]", "covers"]
+    rows: List[List[object]] = []
+    for result in results:
+        row: List[object] = [
             result.benchmark,
             result.num_threads,
             result.error_percent,
@@ -48,8 +58,15 @@ def render_accuracy_table(results: Sequence[AccuracyResult], title: str = "") ->
             result.detailed_fraction,
             result.resamples,
         ]
-        for result in results
-    ]
+        if with_ci:
+            if result.ci_covers_detailed is None:
+                row += ["-", "-"]
+            else:
+                row += [
+                    result.ci_half_width_percent,
+                    "yes" if result.ci_covers_detailed else "no",
+                ]
+        rows.append(row)
     text = format_table(headers, rows)
     summary_lines = []
     for threads, summary in group_by_threads(results).items():
@@ -58,12 +75,18 @@ def render_accuracy_table(results: Sequence[AccuracyResult], title: str = "") ->
             f", speedup {summary.average_speedup:.1f}x"
         )
     overall = summarize(results)
-    summary_lines.append(
+    overall_line = (
         f"overall: avg error {overall.average_error_percent:.2f}%"
         f", median error {overall.median_error_percent:.2f}%"
         f", max error {overall.max_error_percent:.2f}%"
         f", avg speedup {overall.average_speedup:.1f}x"
     )
+    if overall.ci_coverage is not None:
+        overall_line += (
+            f", ci coverage {overall.ci_coverage * 100.0:.0f}%"
+            f" (avg halfwidth {overall.average_ci_half_width_percent:.2f}%)"
+        )
+    summary_lines.append(overall_line)
     parts = []
     if title:
         parts.append(title)

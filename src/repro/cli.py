@@ -48,8 +48,9 @@ from repro.analysis.reporting import format_table, render_accuracy_table
 from repro.analysis.sweep import history_sweep, period_sweep, warmup_sweep
 from repro.analysis.variation import ipc_variation
 from repro.arch.config import high_performance_config, low_power_config
-from repro.core.api import sampled_simulation
+from repro.core.api import sampled_simulation, stratified_simulation
 from repro.core.config import TaskPointConfig
+from repro.core.stratified import StratifiedConfig
 from repro.exp import (
     BACKEND_NAMES,
     ExperimentExecutionError,
@@ -78,6 +79,13 @@ def _taskpoint_config(args: argparse.Namespace) -> TaskPointConfig:
         history_size=args.history,
         sampling_period=period,
     )
+
+
+def _sampling_config(args: argparse.Namespace):
+    """Sampling config selected by ``--policy`` (TaskPoint or stratified)."""
+    if getattr(args, "policy", None) == "stratified":
+        return StratifiedConfig(budget=args.budget)
+    return _taskpoint_config(args)
 
 
 def _int_list(raw: str) -> List[int]:
@@ -124,10 +132,17 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_taskpoint_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--policy", choices=["periodic", "lazy"], default="periodic")
+    parser.add_argument("--policy", choices=["periodic", "lazy", "stratified"],
+                        default="periodic",
+                        help="sampling engine: TaskPoint periodic/lazy, or "
+                             "two-phase stratified sampling with confidence "
+                             "intervals")
     parser.add_argument("--period", type=int, default=250, help="sampling period P")
     parser.add_argument("--warmup", type=int, default=2, help="warm-up instances W")
     parser.add_argument("--history", type=int, default=4, help="history size H")
+    parser.add_argument("--budget", type=float, default=0.02,
+                        help="stratified mode only: target fraction of task "
+                             "instances simulated in detail (default 0.02)")
 
 
 def _add_orchestrator_arguments(parser: argparse.ArgumentParser) -> None:
@@ -181,7 +196,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     sim = subparsers.add_parser("simulate", help="simulate one benchmark")
     _add_common_arguments(sim)
-    sim.add_argument("--mode", choices=["detailed", "sampled"], default="sampled")
+    sim.add_argument("--mode", choices=["detailed", "sampled", "stratified"],
+                     default="sampled",
+                     help="detailed baseline, TaskPoint sampling, or "
+                          "two-phase stratified sampling (equivalent to "
+                          "--mode sampled --policy stratified)")
     _add_taskpoint_arguments(sim)
 
     cmp = subparsers.add_parser("compare", help="sampled versus detailed simulation")
@@ -244,6 +263,11 @@ def _command_simulate(args: argparse.Namespace) -> int:
     architecture = _architecture(args.architecture)
     if args.mode == "detailed":
         result = simulate(trace, num_threads=args.threads, architecture=architecture)
+    elif args.mode == "stratified" or args.policy == "stratified":
+        result = stratified_simulation(
+            trace, num_threads=args.threads, architecture=architecture,
+            config=StratifiedConfig(budget=args.budget),
+        )
     else:
         result = sampled_simulation(
             trace, num_threads=args.threads, architecture=architecture,
@@ -252,6 +276,11 @@ def _command_simulate(args: argparse.Namespace) -> int:
     summary = result.summary()
     for key, value in summary.items():
         print(f"{key:20s}: {value}")
+    confidence = result.metadata.get("confidence")
+    if confidence:
+        print(f"{'ci95 halfwidth':20s}: {confidence['half_width_percent']:.2f} %")
+        print(f"{'ci95 cycles':20s}: [{confidence['lower_cycles']:,.0f}, "
+              f"{confidence['upper_cycles']:,.0f}]")
     return 0
 
 
@@ -262,7 +291,7 @@ def _command_compare(args: argparse.Namespace) -> int:
         scale=args.scale,
         trace_seed=args.seed,
         architecture=_architecture(args.architecture),
-        config=_taskpoint_config(args),
+        config=_sampling_config(args),
     )
     backend, store = _backend_and_store(args)
     with _maybe_profile(args):
@@ -281,6 +310,14 @@ def _command_compare(args: argparse.Namespace) -> int:
           f"{stats.get('warmup_instances', 0)} / {stats.get('valid_samples', 0)}"
           f" / {stats.get('fast_forwarded', 0)}")
     print(f"resamples            : {stats.get('resamples', 0)}")
+    confidence = stats.get("confidence")
+    if confidence:
+        covered = (confidence["lower_cycles"] <= detailed.total_cycles
+                   <= confidence["upper_cycles"])
+        print(f"ci95                 : +/-{confidence['half_width_percent']:.2f} %"
+              f" [{confidence['lower_cycles']:,.0f}, "
+              f"{confidence['upper_cycles']:,.0f}]"
+              f" ({'covers' if covered else 'misses'} detailed)")
     return 0
 
 
@@ -315,13 +352,18 @@ def _command_grid(args: argparse.Namespace) -> int:
             _benchmark_list(args.benchmarks),
             _int_list(args.threads),
             architecture=_architecture(args.architecture),
-            config=_taskpoint_config(args),
+            config=_sampling_config(args),
             scale=args.scale,
             seed=args.seed,
             backend=backend,
             store=store,
         )
-    policy = "lazy" if args.policy == "lazy" else f"periodic P={args.period}"
+    if args.policy == "lazy":
+        policy = "lazy"
+    elif args.policy == "stratified":
+        policy = f"stratified budget={args.budget}"
+    else:
+        policy = f"periodic P={args.period}"
     print(render_accuracy_table(
         results,
         title=(f"Accuracy grid: {policy}, W={args.warmup}, H={args.history}, "

@@ -41,7 +41,16 @@ from repro.core.policies import (
     make_policy,
 )
 from repro.core.controller import ResampleReason, SamplingPhase, TaskPointController, TaskPointStatistics
-from repro.core.api import sampled_simulation, compare_with_detailed
+from repro.core.stratified import (
+    StratifiedConfig,
+    StratifiedController,
+    StratifiedStatistics,
+)
+from repro.core.api import (
+    compare_with_detailed,
+    sampled_simulation,
+    stratified_simulation,
+)
 
 __all__ = [
     "TaskPointConfig",
@@ -58,6 +67,10 @@ __all__ = [
     "TaskPointStatistics",
     "SamplingPhase",
     "ResampleReason",
+    "StratifiedConfig",
+    "StratifiedController",
+    "StratifiedStatistics",
     "sampled_simulation",
+    "stratified_simulation",
     "compare_with_detailed",
 ]

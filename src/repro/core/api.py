@@ -14,6 +14,7 @@ from repro.arch.config import ArchitectureConfig
 from repro.core.config import TaskPointConfig
 from repro.core.controller import TaskPointController, TaskPointStatistics
 from repro.core.policies import SamplingPolicy
+from repro.core.stratified import StratifiedConfig, StratifiedController
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import TaskSimSimulator
 from repro.trace.trace import ApplicationTrace
@@ -40,6 +41,35 @@ def sampled_simulation(
     )
     result = simulator.run(trace, num_threads=num_threads, controller=controller)
     result.metadata["taskpoint"] = controller.stats
+    return result
+
+
+def stratified_simulation(
+    trace: ApplicationTrace,
+    num_threads: int = 8,
+    architecture: Optional[ArchitectureConfig] = None,
+    config: Optional[StratifiedConfig] = None,
+    scheduler: str = "fifo",
+    scheduler_seed: int = 0,
+) -> SimulationResult:
+    """Simulate ``trace`` with two-phase stratified sampling.
+
+    Like :func:`sampled_simulation`, the run's sampling statistics are
+    attached to the result metadata under ``"taskpoint"`` (the stratified
+    statistics are a superset of TaskPoint's).  Additionally, the 95%
+    confidence interval of the execution-time estimate — the headline output
+    of the stratified engine — is attached under ``"confidence"`` (``None``
+    when nothing was fast-forwarded, i.e. the estimate is exact).
+    """
+    controller = StratifiedController(trace, config=config)
+    simulator = TaskSimSimulator(
+        architecture=architecture, scheduler=scheduler, scheduler_seed=scheduler_seed
+    )
+    result = simulator.run(trace, num_threads=num_threads, controller=controller)
+    result.metadata["taskpoint"] = controller.stats
+    result.metadata["confidence"] = controller.stats.confidence_summary(
+        result.total_cycles
+    )
     return result
 
 

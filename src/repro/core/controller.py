@@ -42,6 +42,7 @@ from repro.sim.modes import (
     CompletionInfo,
     ModeDecision,
     SimulationMode,
+    burst_decision,
 )
 
 
@@ -240,7 +241,7 @@ class TaskPointController:
         self._fast_forwarded[worker_id] += 1
         state.record_fast_forward()
         self.stats.fast_forwarded += 1
-        return ModeDecision(mode=SimulationMode.BURST, ipc=estimate.ipc)
+        return burst_decision(estimate.ipc)
 
     def _detailed_decision(self, worker_id: int) -> ModeDecision:
         if self._warmup_remaining[worker_id] > 0:

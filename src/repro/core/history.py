@@ -1,4 +1,4 @@
-"""Per-task-type IPC sample histories.
+"""Per-task-type IPC sample histories, plus variance and CI estimators.
 
 For each task type TaskPoint maintains two FIFO buffers of size H (paper
 §III-B):
@@ -9,13 +9,28 @@ For each task type TaskPoint maintains two FIFO buffers of size H (paper
 * the **history of all samples** — IPCs of every instance simulated in
   detail, warmed or not; it serves as a fallback for rare task types that
   never accumulate enough valid samples.
+
+Two dispersion estimators coexist, and which callers use which matters:
+
+* :meth:`SampleHistory.coefficient_of_variation` is the **legacy biased**
+  (``ddof=0``) estimator.  Its callers are
+  :meth:`repro.core.controller.TaskPointController.notify_completion` (which
+  feeds the dispersion to ``SamplingPolicy.observe_dispersion``) and
+  :meth:`HistoryTable.mean_dispersion`; both predate the stratified engine
+  and their arithmetic is pinned bit-identical by the golden fingerprints in
+  ``tests/test_golden_values.py``, so the divisor stays ``n``.
+* :func:`unbiased_variance` / :func:`unbiased_coefficient_of_variation` are
+  the **unbiased** (``ddof=1``) estimators used by the stratified sampling
+  engine (:mod:`repro.core.stratified`) and the confidence-interval helpers
+  below.  New code should use these.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Sequence
 
 
 class SampleHistory:
@@ -89,6 +104,20 @@ class SampleHistory:
     def coefficient_of_variation(self) -> Optional[float]:
         """Relative dispersion (stddev / mean) of the samples, if >= 2 samples.
 
+        This is the **legacy biased** estimator (population variance,
+        ``ddof=0``): its callers — the TaskPoint controller's dispersion feed
+        to the sampling policy and :meth:`HistoryTable.mean_dispersion` — are
+        pinned bit-identical by the golden fingerprints, so the divisor stays
+        ``n``.  The stratified engine uses the unbiased module-level
+        :func:`unbiased_coefficient_of_variation` instead.
+
+        Return policy (explicit, so callers can tell the cases apart):
+
+        * fewer than 2 samples — ``None`` (dispersion undefined),
+        * zero mean — ``math.inf`` (infinite *relative* dispersion).  This is
+          unreachable through :meth:`add`, which rejects non-positive IPCs,
+          but generic sample sets (e.g. signed residuals) hit it.
+
         Cached between mutations; the underlying arithmetic is unchanged.
         """
         if self._cov_valid:
@@ -98,7 +127,7 @@ class SampleHistory:
         else:
             mean = self._sum / len(self._samples)
             if mean == 0:
-                self._cov = None
+                self._cov = math.inf
             else:
                 variance = sum(
                     (value - mean) ** 2 for value in self._samples
@@ -203,7 +232,11 @@ class HistoryTable:
             state.valid.clear()
 
     def mean_dispersion(self) -> Optional[float]:
-        """Average coefficient of variation across types with enough samples."""
+        """Average coefficient of variation across types with enough samples.
+
+        Uses the legacy biased (``ddof=0``) per-history estimator; see
+        :meth:`SampleHistory.coefficient_of_variation`.
+        """
         values = [
             state.valid.coefficient_of_variation()
             for state in self._types.values()
@@ -212,3 +245,99 @@ class HistoryTable:
         if not values:
             return None
         return sum(values) / len(values)
+
+
+# ----------------------------------------------------------------------
+# Unbiased estimators and confidence-interval math (stratified engine)
+# ----------------------------------------------------------------------
+
+#: Two-sided 95% Student-t critical values for 1..30 degrees of freedom;
+#: beyond that the normal quantile 1.96 is used.  Embedded because the
+#: environment has no scipy and the stratified CI only ever needs the 95%
+#: level (the level the paper-style accuracy tables report).
+_T95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+_Z95 = 1.959964
+
+
+def t_critical_95(degrees_of_freedom: int) -> float:
+    """Two-sided 95% Student-t critical value for ``degrees_of_freedom``.
+
+    Falls back to the normal quantile above 30 degrees of freedom; raises
+    for non-positive degrees of freedom (no CI exists from one sample).
+    """
+    if degrees_of_freedom < 1:
+        raise ValueError("t critical value requires >= 1 degree of freedom")
+    if degrees_of_freedom <= len(_T95):
+        return _T95[degrees_of_freedom - 1]
+    return _Z95
+
+
+def unbiased_variance(values: Sequence[float]) -> float:
+    """Unbiased (``ddof=1``) sample variance; requires at least 2 samples."""
+    n = len(values)
+    if n < 2:
+        raise ValueError("unbiased variance requires at least 2 samples")
+    mean = sum(values) / n
+    return sum((value - mean) ** 2 for value in values) / (n - 1)
+
+
+def unbiased_std(values: Sequence[float]) -> float:
+    """Unbiased-variance sample standard deviation (``ddof=1``)."""
+    return math.sqrt(unbiased_variance(values))
+
+
+def unbiased_coefficient_of_variation(values: Sequence[float]) -> Optional[float]:
+    """Relative dispersion stddev/mean with the unbiased variance (ddof=1).
+
+    Return policy mirrors :meth:`SampleHistory.coefficient_of_variation`:
+    ``None`` for fewer than 2 samples (undefined), ``math.inf`` for a
+    zero-mean sample set (infinite relative dispersion) — the two cases are
+    deliberately distinguishable.
+    """
+    if len(values) < 2:
+        return None
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return math.inf
+    return unbiased_std(values) / mean
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided confidence interval around a sample mean."""
+
+    mean: float
+    half_width: float
+    level: float = 0.95
+
+    @property
+    def lower(self) -> float:
+        """Lower bound of the interval."""
+        return self.mean - self.half_width
+
+    @property
+    def upper(self) -> float:
+        """Upper bound of the interval."""
+        return self.mean + self.half_width
+
+    def covers(self, value: float) -> bool:
+        """``True`` when ``value`` lies inside the interval (inclusive)."""
+        return self.lower <= value <= self.upper
+
+
+def mean_confidence_interval(values: Sequence[float]) -> ConfidenceInterval:
+    """95% Student-t confidence interval for the mean of ``values``.
+
+    Uses the unbiased (``ddof=1``) variance; requires at least 2 samples.
+    """
+    n = len(values)
+    if n < 2:
+        raise ValueError("a confidence interval requires at least 2 samples")
+    mean = sum(values) / n
+    half_width = t_critical_95(n - 1) * unbiased_std(values) / math.sqrt(n)
+    return ConfidenceInterval(mean=mean, half_width=half_width)

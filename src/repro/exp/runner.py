@@ -19,18 +19,25 @@ the runtime's static instance lists, both memoised in
 receives many specs of one workload (the normal shape of a ``run_batch``
 frame, and of consecutive frames of one grid) therefore pays trace
 generation *and* plan construction once, and every later spec starts on a
-fully warmed trace.  Set ``REPRO_EXP_TRACE_MEMO=0`` to disable the memo —
-every spec then regenerates (and re-warms) its trace from scratch, which
-is how ``scripts/dispatch_bench.py`` measures the per-spec warm-up cost
-the memo removes.
+fully warmed trace.  The memo is an explicit bounded LRU
+(:class:`TraceMemo`) rather than an ``lru_cache``: long-lived worker
+processes serving many differently-scaled grids would otherwise accumulate
+traces without limit, and the workers report the memo's hit/eviction
+counters in their ``pong`` status frames so a supervisor can see cache
+behaviour.  Set ``REPRO_EXP_TRACE_MEMO=0`` to disable the memo — every
+spec then regenerates (and re-warms) its trace from scratch, which is how
+``scripts/dispatch_bench.py`` measures the per-spec warm-up cost the memo
+removes.
 """
 
 from __future__ import annotations
 
 import os
-from functools import lru_cache
+from collections import OrderedDict
+from typing import Dict, Tuple
 
 from repro.core.controller import TaskPointController
+from repro.core.stratified import StratifiedConfig, StratifiedController
 from repro.exp.spec import ExperimentResult, ExperimentSpec
 from repro.sim.simulator import TaskSimSimulator
 from repro.trace.trace import ApplicationTrace
@@ -44,9 +51,67 @@ _TRACE_CACHE_SIZE = 64
 TRACE_MEMO_ENV = "REPRO_EXP_TRACE_MEMO"
 
 
-@lru_cache(maxsize=_TRACE_CACHE_SIZE)
-def _generate_trace(benchmark: str, scale: float, seed: int) -> ApplicationTrace:
-    return get_workload(benchmark).generate(scale=scale, seed=seed)
+class TraceMemo:
+    """Bounded LRU memo of generated traces with observable statistics.
+
+    Keyed by (benchmark, scale, seed); holds at most ``capacity`` traces and
+    evicts the least recently used one beyond that.  Unlike the former
+    ``functools.lru_cache`` it exposes its hit/miss/eviction counters, which
+    the pool workers ship home in their ``pong`` frames.
+    """
+
+    def __init__(self, capacity: int = _TRACE_CACHE_SIZE) -> None:
+        if capacity < 1:
+            raise ValueError("trace memo capacity must be >= 1")
+        self.capacity = capacity
+        self._traces: "OrderedDict[Tuple[str, float, int], ApplicationTrace]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, benchmark: str, scale: float, seed: int) -> ApplicationTrace:
+        """Return the memoised trace, generating (and possibly evicting)."""
+        key = (benchmark, scale, seed)
+        trace = self._traces.get(key)
+        if trace is not None:
+            self.hits += 1
+            self._traces.move_to_end(key)
+            return trace
+        self.misses += 1
+        trace = get_workload(benchmark).generate(scale=scale, seed=seed)
+        self._traces[key] = trace
+        if len(self._traces) > self.capacity:
+            self._traces.popitem(last=False)
+            self.evictions += 1
+        return trace
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def clear(self) -> None:
+        """Drop all memoised traces (counters are kept)."""
+        self._traces.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """JSON-friendly snapshot of the memo counters."""
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._traces),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+#: The per-process memo instance behind :func:`get_trace`.
+_TRACE_MEMO = TraceMemo()
+
+
+def trace_memo_stats() -> Dict[str, int]:
+    """Counters of the per-process trace memo (for worker status frames)."""
+    return _TRACE_MEMO.stats()
 
 
 def get_trace(benchmark: str, scale: float, seed: int) -> ApplicationTrace:
@@ -61,7 +126,7 @@ def get_trace(benchmark: str, scale: float, seed: int) -> ApplicationTrace:
     """
     if os.environ.get(TRACE_MEMO_ENV, "") == "0":
         return get_workload(benchmark).generate(scale=scale, seed=seed)
-    return _generate_trace(benchmark, scale, seed)
+    return _TRACE_MEMO.get(benchmark, scale, seed)
 
 
 def run_spec(spec: ExperimentSpec) -> ExperimentResult:
@@ -75,6 +140,9 @@ def run_spec(spec: ExperimentSpec) -> ExperimentResult:
     if spec.is_detailed:
         result = simulator.run(trace, num_threads=spec.num_threads, controller=None)
         return ExperimentResult.from_simulation(spec, result)
-    controller = TaskPointController(config=spec.config)
+    if isinstance(spec.config, StratifiedConfig):
+        controller = StratifiedController(trace, config=spec.config)
+    else:
+        controller = TaskPointController(config=spec.config)
     result = simulator.run(trace, num_threads=spec.num_threads, controller=controller)
     return ExperimentResult.from_simulation(spec, result, stats=controller.stats)

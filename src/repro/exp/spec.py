@@ -22,7 +22,7 @@ import hashlib
 import json
 import traceback as traceback_module
 from dataclasses import asdict, dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.arch.config import (
     ArchitectureConfig,
@@ -33,6 +33,11 @@ from repro.arch.config import (
 )
 from repro.core.config import TaskPointConfig
 from repro.core.controller import TaskPointStatistics
+from repro.core.stratified import StratifiedConfig
+
+#: The sampling configurations a spec can carry.  ``None`` marks a detailed
+#: baseline run.
+SamplingConfig = Union[TaskPointConfig, StratifiedConfig]
 from repro.sim.cost import SimulationCost
 from repro.sim.results import SimulationResult
 
@@ -79,8 +84,10 @@ class ExperimentSpec:
     num_threads:
         Number of simulated worker threads.
     config:
-        TaskPoint sampling configuration, or ``None`` to mark the experiment
-        as a full **detailed baseline** run.
+        Sampling configuration — a :class:`TaskPointConfig` (periodic/lazy
+        sampling) or a :class:`StratifiedConfig` (two-phase stratified
+        sampling) — or ``None`` to mark the experiment as a full **detailed
+        baseline** run.
     scheduler:
         Dynamic scheduler name (``"fifo"``, ``"locality"`` or ``"random"``).
     scheduler_seed:
@@ -92,7 +99,7 @@ class ExperimentSpec:
     scale: float = 0.08
     trace_seed: int = 1
     architecture: Optional[ArchitectureConfig] = None
-    config: Optional[TaskPointConfig] = None
+    config: Optional[SamplingConfig] = None
     scheduler: str = "fifo"
     scheduler_seed: int = 0
 
@@ -119,11 +126,38 @@ class ExperimentSpec:
         """
         return replace(self, config=None)
 
-    def sampled(self, config: TaskPointConfig) -> "ExperimentSpec":
+    def sampled(self, config: SamplingConfig) -> "ExperimentSpec":
         """A copy of this spec running under ``config`` instead."""
         return replace(self, config=config)
 
     # ------------------------------------------------------------------
+    def _config_to_dict(self) -> Optional[Dict[str, object]]:
+        """Serialise the sampling config with a ``kind`` discriminator.
+
+        TaskPoint configs serialise as a plain field dict — exactly the bytes
+        they always produced, so every pre-stratified content key (and with
+        it the on-disk result cache) is unchanged.  Stratified configs add a
+        ``"kind": "stratified"`` discriminator, which also guarantees their
+        keys can never collide with a TaskPoint config's.
+        """
+        if self.config is None:
+            return None
+        if isinstance(self.config, StratifiedConfig):
+            return {"kind": "stratified", **asdict(self.config)}
+        return asdict(self.config)
+
+    @staticmethod
+    def _config_from_dict(data: Optional[Dict[str, object]]) -> Optional[SamplingConfig]:
+        if data is None:
+            return None
+        kind = data.get("kind")
+        if kind == "stratified":
+            fields = {key: value for key, value in data.items() if key != "kind"}
+            return StratifiedConfig(**fields)
+        if kind is not None:
+            raise ValueError(f"unknown sampling config kind: {kind!r}")
+        return TaskPointConfig(**data)
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable canonical form."""
         return {
@@ -133,7 +167,7 @@ class ExperimentSpec:
             "scale": self.scale,
             "trace_seed": self.trace_seed,
             "architecture": _architecture_to_dict(self.architecture),
-            "config": asdict(self.config) if self.config is not None else None,
+            "config": self._config_to_dict(),
             "scheduler": self.scheduler,
             "scheduler_seed": self.scheduler_seed,
         }
@@ -141,14 +175,13 @@ class ExperimentSpec:
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ExperimentSpec":
         """Rebuild a spec from :meth:`to_dict` output."""
-        config = data.get("config")
         return cls(
             benchmark=data["benchmark"],
             num_threads=data["num_threads"],
             scale=data["scale"],
             trace_seed=data["trace_seed"],
             architecture=_architecture_from_dict(data["architecture"]),
-            config=TaskPointConfig(**config) if config is not None else None,
+            config=cls._config_from_dict(data.get("config")),
             scheduler=data.get("scheduler", "fifo"),
             scheduler_seed=data.get("scheduler_seed", 0),
         )
@@ -173,7 +206,12 @@ class ExperimentSpec:
 
     def label(self) -> str:
         """Short human-readable description (for logs and progress output)."""
-        mode = "detailed" if self.is_detailed else "sampled"
+        if self.is_detailed:
+            mode = "detailed"
+        elif isinstance(self.config, StratifiedConfig):
+            mode = "stratified"
+        else:
+            mode = "sampled"
         return (
             f"{self.benchmark}@{self.architecture.name}"
             f" x{self.num_threads} [{mode}]"
@@ -287,6 +325,13 @@ class ExperimentResult:
                 },
                 "fallback_estimates": stats.fallback_estimates,
             }
+            # Statistics objects that can quantify their estimation
+            # uncertainty (the stratified engine's) contribute a confidence
+            # block; plain TaskPoint statistics leave the dict untouched, so
+            # legacy result records stay byte-identical.
+            confidence = getattr(stats, "confidence_summary", None)
+            if callable(confidence):
+                taskpoint["confidence"] = confidence(result.total_cycles)
         return cls(
             benchmark=result.benchmark,
             architecture=result.architecture,

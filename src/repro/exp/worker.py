@@ -15,7 +15,9 @@ Two threads cooperate:
 
 * the **reader thread** parses incoming frames: ``ping`` is answered with
   ``pong`` immediately — even while a simulation is running, so supervisor
-  heartbeats measure process liveness rather than job length — ``hello_ack``
+  heartbeats measure process liveness rather than job length; each pong
+  carries the worker's trace-memo counters as a ``memo`` field —
+  ``hello_ack``
   records whether the supervisor negotiated compressed frames, ``run`` jobs
   (and the jobs of a ``run_batch`` frame, unpacked in order) are handed to
   the main thread and ``shutdown``/EOF ends the process;
@@ -66,7 +68,7 @@ import time
 from typing import BinaryIO, Dict, Optional, Sequence
 
 from repro.exp import protocol
-from repro.exp.runner import run_spec
+from repro.exp.runner import run_spec, trace_memo_stats
 from repro.exp.spec import ExperimentFailure, ExperimentSpec
 
 #: Test-only fault hook; see the module docstring.
@@ -203,7 +205,16 @@ def serve(
             kind = message.get("type")
             if kind == "ping":
                 try:
-                    out.send({"type": "pong", "seq": message.get("seq")})
+                    # Heartbeat answers double as a status channel: the
+                    # worker's trace-memo counters ride along, so a
+                    # supervisor can observe cache behaviour (hit rate,
+                    # evictions) without a dedicated stats frame.  Old
+                    # supervisors ignore unknown pong keys.
+                    out.send({
+                        "type": "pong",
+                        "seq": message.get("seq"),
+                        "memo": trace_memo_stats(),
+                    })
                 except OSError:
                     jobs.put(None)
                     return

@@ -202,6 +202,44 @@ class TraceColumns:
         """Number of dependencies per record."""
         return self.dep_offsets[1:] - self.dep_offsets[:-1]
 
+    #: Column order of :meth:`instance_signatures`.
+    SIGNATURE_FIELDS = (
+        "instructions",     # dynamic instruction count
+        "blocks",           # execution-block count (block geometry)
+        "detail_events",    # individually resolved memory events
+        "memory_accesses",  # weighted (real) memory accesses
+        "fan_in",           # dependency fan-in: how many records this one feeds
+        "fan_out",          # dependency fan-out: how many records feed this one
+    )
+
+    def instance_signatures(self) -> np.ndarray:
+        """Cheap per-instance signatures for stratified sampling (phase 1).
+
+        Returns an ``(n, len(SIGNATURE_FIELDS))`` float64 matrix computed
+        entirely from the columnar arrays — per-instance op counts, block
+        geometry and dependency fan-in/out — with **no** detailed simulation.
+        The matrix is memoised in :attr:`plan_cache` (it is read once per
+        stratification, but the same warmed trace serves many specs).
+        """
+        cached = self.plan_cache.get(("instance_signatures",))
+        if cached is not None:
+            return cached
+        fan_in = np.bincount(
+            self.dep_targets, minlength=self.num_records
+        ).astype(np.int64)[: self.num_records]
+        signatures = np.column_stack(
+            [
+                self.instructions.astype(np.float64),
+                (self.block_offsets[1:] - self.block_offsets[:-1]).astype(np.float64),
+                self.detail_events_per_record().astype(np.float64),
+                self.memory_accesses_per_record().astype(np.float64),
+                fan_in.astype(np.float64),
+                self.dependency_counts().astype(np.float64),
+            ]
+        )
+        self.plan_cache[("instance_signatures",)] = signatures
+        return signatures
+
     def dependents_csr(self) -> Tuple[np.ndarray, np.ndarray]:
         """Forward dependency edges as (offsets, targets) CSR arrays.
 

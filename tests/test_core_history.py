@@ -1,10 +1,22 @@
 """Unit tests for TaskPoint configuration, sample histories and fast-forward."""
 
+import math
+
 import pytest
 
 from repro.core.config import TaskPointConfig, lazy_config, periodic_config
 from repro.core.fastforward import FastForwardEstimator
-from repro.core.history import HistoryTable, SampleHistory, TaskTypeState
+from repro.core.history import (
+    ConfidenceInterval,
+    HistoryTable,
+    SampleHistory,
+    TaskTypeState,
+    mean_confidence_interval,
+    t_critical_95,
+    unbiased_coefficient_of_variation,
+    unbiased_std,
+    unbiased_variance,
+)
 from repro.trace.records import make_record
 
 
@@ -188,3 +200,113 @@ class TestFastForwardEstimator:
         table.state("tiny").record_detailed(100.0, valid=True)
         estimate = FastForwardEstimator(table).estimate(make_record(0, "tiny", 1))
         assert estimate.cycles >= 1.0
+
+
+class TestCoefficientOfVariationSentinels:
+    """Regression tests for the documented CoV return policy.
+
+    ``None`` means "dispersion undefined" (< 2 samples); ``math.inf`` means
+    "infinite relative dispersion" (zero mean).  The two must never be
+    conflated: the controller treats ``None`` as "keep sampling" while an
+    infinite CoV is a legitimate (maximally dispersed) measurement.
+    """
+
+    def test_none_below_two_samples(self):
+        history = SampleHistory(capacity=4)
+        assert history.coefficient_of_variation() is None
+        history.add(2.0)
+        assert history.coefficient_of_variation() is None
+        history.add(2.0)
+        assert history.coefficient_of_variation() == pytest.approx(0.0)
+
+    def test_zero_mean_is_infinite_not_none(self):
+        # add() rejects non-positive IPCs, so a zero-mean buffer can only be
+        # produced by a generic (signed) sample set; drive the internals the
+        # way such a caller would.
+        history = SampleHistory(capacity=4)
+        history._samples.extend([-1.0, 1.0])
+        history._sum = 0.0
+        history._cov_valid = False
+        assert history.coefficient_of_variation() == math.inf
+
+    def test_cov_cache_invalidated_by_add_and_clear(self):
+        history = SampleHistory(capacity=4)
+        history.add(1.0)
+        history.add(3.0)
+        first = history.coefficient_of_variation()
+        history.add(2.0)
+        assert history.coefficient_of_variation() != first
+        history.clear()
+        assert history.coefficient_of_variation() is None
+
+    def test_legacy_cov_stays_biased(self):
+        # ddof=0: pinned by the golden fingerprints.  [1, 3] has population
+        # stddev 1.0 (not sqrt(2)) and mean 2.0.
+        history = SampleHistory(capacity=4)
+        history.add(1.0)
+        history.add(3.0)
+        assert history.coefficient_of_variation() == pytest.approx(0.5)
+
+
+class TestUnbiasedEstimators:
+    def test_unbiased_variance_uses_ddof_1(self):
+        assert unbiased_variance([1.0, 3.0]) == pytest.approx(2.0)
+        assert unbiased_std([1.0, 3.0]) == pytest.approx(math.sqrt(2.0))
+
+    def test_unbiased_variance_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            unbiased_variance([1.0])
+
+    def test_unbiased_cov_mirrors_sentinel_policy(self):
+        assert unbiased_coefficient_of_variation([]) is None
+        assert unbiased_coefficient_of_variation([2.0]) is None
+        assert unbiased_coefficient_of_variation([-1.0, 1.0]) == math.inf
+        assert unbiased_coefficient_of_variation([1.0, 3.0]) == pytest.approx(
+            math.sqrt(2.0) / 2.0
+        )
+
+    def test_biased_vs_unbiased_differ_by_bessel(self):
+        values = [1.0, 2.0, 4.0]
+        history = SampleHistory(capacity=8)
+        for value in values:
+            history.add(value)
+        biased = history.coefficient_of_variation()
+        unbiased = unbiased_coefficient_of_variation(values)
+        assert unbiased == pytest.approx(biased * math.sqrt(3 / 2))
+
+
+class TestConfidenceIntervals:
+    def test_t_table_reference_values(self):
+        assert t_critical_95(1) == pytest.approx(12.706, abs=1e-3)
+        assert t_critical_95(4) == pytest.approx(2.776, abs=1e-3)
+        assert t_critical_95(30) == pytest.approx(2.042, abs=1e-3)
+        # Beyond the table: the normal quantile.
+        assert t_critical_95(1000) == pytest.approx(1.960, abs=1e-3)
+
+    def test_t_table_monotone_decreasing(self):
+        values = [t_critical_95(df) for df in range(1, 40)]
+        assert values == sorted(values, reverse=True)
+
+    def test_t_requires_positive_df(self):
+        with pytest.raises(ValueError):
+            t_critical_95(0)
+
+    def test_interval_bounds_and_covers(self):
+        interval = ConfidenceInterval(mean=10.0, half_width=2.0)
+        assert interval.lower == 8.0
+        assert interval.upper == 12.0
+        assert interval.covers(8.0) and interval.covers(12.0)
+        assert not interval.covers(7.999)
+        assert interval.level == 0.95
+
+    def test_mean_confidence_interval(self):
+        values = [1.0, 2.0, 3.0]
+        interval = mean_confidence_interval(values)
+        assert interval.mean == pytest.approx(2.0)
+        expected = t_critical_95(2) * unbiased_std(values) / math.sqrt(3)
+        assert interval.half_width == pytest.approx(expected)
+        assert interval.covers(2.0)
+
+    def test_mean_confidence_interval_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([5.0])

@@ -547,3 +547,112 @@ class TestSeedRegression:
         # 3 values x 1 benchmark x 2 thread counts sampled runs, but only
         # 2 shared detailed baselines (one per thread count).
         assert backend.executed == 3 * 2 + 2
+
+
+class TestTraceMemoBound:
+    """The worker-side memo is a bounded LRU with observable counters."""
+
+    def make_memo(self, capacity=2):
+        from repro.exp.runner import TraceMemo
+
+        return TraceMemo(capacity=capacity)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            self.make_memo(capacity=0)
+
+    def test_bounded_with_lru_eviction(self):
+        memo = self.make_memo(capacity=2)
+        memo.get("swaptions", SCALE, 1)
+        memo.get("vector-operation", SCALE, 1)
+        memo.get("swaptions", SCALE, 1)  # refresh: swaptions is now newest
+        memo.get("cholesky", SCALE, 1)   # evicts vector-operation, not swaptions
+        assert len(memo) == 2
+        assert memo.evictions == 1
+        before = memo.hits
+        memo.get("swaptions", SCALE, 1)
+        assert memo.hits == before + 1
+        memo.get("vector-operation", SCALE, 1)  # regenerated: a miss
+        assert memo.misses == 4
+
+    def test_stats_snapshot(self):
+        memo = self.make_memo(capacity=2)
+        memo.get("swaptions", SCALE, 1)
+        memo.get("swaptions", SCALE, 1)
+        stats = memo.stats()
+        assert stats == {
+            "capacity": 2, "entries": 1, "hits": 1, "misses": 1, "evictions": 0,
+        }
+
+    def test_clear_keeps_counters(self):
+        memo = self.make_memo(capacity=2)
+        memo.get("swaptions", SCALE, 1)
+        memo.clear()
+        assert len(memo) == 0
+        assert memo.stats()["misses"] == 1
+
+    def test_module_stats_exposed(self):
+        from repro.exp.runner import get_trace, trace_memo_stats
+
+        before = trace_memo_stats()
+        get_trace("swaptions", SCALE, 1)
+        after = trace_memo_stats()
+        assert after["hits"] + after["misses"] > before["hits"] + before["misses"]
+        assert set(after) == {"capacity", "entries", "hits", "misses", "evictions"}
+
+
+class TestFailureDiagnostics:
+    """A failed spec's diagnostics must carry the originating traceback.
+
+    Regression tests for the broad ``except Exception`` handlers in the
+    backends and the worker: condensing an exception into a message string
+    alone made worker-side failures undebuggable.
+    """
+
+    def poison_spec(self):
+        return ExperimentSpec(benchmark="no-such-benchmark", num_threads=2,
+                              scale=SCALE, config=lazy_config())
+
+    def test_failure_record_has_full_traceback(self, tmp_path):
+        store = ResultStore(tmp_path)
+        results = run_experiments(
+            [self.poison_spec()], store=store, on_error="record"
+        )
+        assert results == [None]
+        error_files = list(tmp_path.rglob("*.error.json"))
+        assert len(error_files) == 1
+        data = json.loads(error_files[0].read_text())["error"]
+        assert data["error_type"] == "KeyError"
+        assert "no-such-benchmark" in data["message"]
+        # The traceback must reach the originating frame, not just repeat
+        # the message: the registry lookup inside the runner.
+        assert "get_workload" in data["traceback"]
+        assert "Traceback (most recent call last)" in data["traceback"]
+        # And the stored record round-trips through the typed accessor.
+        failure = store.get_failure(self.poison_spec())
+        assert failure is not None
+        assert "get_workload" in failure.traceback
+
+    def test_failure_round_trips_through_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_experiments([self.poison_spec()], store=store, on_error="record")
+
+        class CountingOutcomeBackend:
+            def __init__(self):
+                self.executed = 0
+                self._serial = SerialBackend()
+
+            def run_outcomes(self, specs):
+                self.executed += len(specs)
+                return self._serial.run_outcomes(specs)
+
+            def run(self, specs):
+                raise AssertionError("run_outcomes should be preferred")
+
+        # Failures are diagnostics, not cached results: a re-run retries.
+        backend = CountingOutcomeBackend()
+        results = run_experiments(
+            [self.poison_spec()], store=store, backend=backend, on_error="record"
+        )
+        assert results == [None]
+        assert backend.executed == 1

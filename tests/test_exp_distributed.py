@@ -440,7 +440,14 @@ class TestWorkerTransport:
                     time.sleep(0.2)  # the simulation is now running
                     protocol.write_frame(writer, {"type": "ping", "seq": 42})
                     message = protocol.read_frame(reader)
-                    assert message == {"type": "pong", "seq": 42}
+                    assert message["type"] == "pong"
+                    assert message["seq"] == 42
+                    # Pongs carry the worker's trace-memo counters; the
+                    # running job's trace was generated, so exactly one miss.
+                    memo = message["memo"]
+                    assert memo["misses"] >= 1
+                    assert memo["hits"] >= 0
+                    assert memo["entries"] <= memo["capacity"]
                     assert protocol.read_frame(reader)["type"] == "result"
                     protocol.write_frame(writer, {"type": "shutdown"})
                 assert worker.wait(timeout=30) == 0
@@ -448,6 +455,41 @@ class TestWorkerTransport:
                 if worker.poll() is None:
                     worker.kill()
                     worker.wait()
+
+    def test_worker_error_frame_carries_originating_traceback(self):
+        # A poison spec's error frame must ship the full traceback — the
+        # supervisor's .error.json diagnostic is all a user gets when a
+        # remote worker fails, so "message only" makes failures undebuggable.
+        from repro.exp.worker import serve
+
+        poison = ExperimentSpec("no-such-benchmark", num_threads=2,
+                                scale=0.004, config=lazy_config())
+        to_worker, commands = socket.socketpair()
+        from_worker, answers = socket.socketpair()
+        with to_worker, commands, from_worker, answers, \
+                to_worker.makefile("rb") as worker_in, \
+                answers.makefile("wb") as worker_out, \
+                commands.makefile("wb") as writer, \
+                from_worker.makefile("rb") as reader:
+            server = threading.Thread(
+                target=serve, args=(worker_in, worker_out), daemon=True
+            )
+            server.start()
+            assert protocol.read_frame(reader)["type"] == "hello"
+            protocol.write_frame(
+                writer, {"type": "run", "job": 3, "spec": poison.to_dict()}
+            )
+            message = protocol.read_frame(reader)
+            protocol.write_frame(writer, {"type": "shutdown"})
+            server.join(timeout=10)
+            assert not server.is_alive()
+        assert message["type"] == "error"
+        assert message["job"] == 3
+        failure = ExperimentFailure.from_dict(message["error"])
+        assert failure.error_type == "KeyError"
+        assert "no-such-benchmark" in failure.message
+        assert "get_workload" in failure.traceback
+        assert "Traceback (most recent call last)" in failure.traceback
 
 
 HASHSEED_SNIPPET = textwrap.dedent("""
