@@ -1,11 +1,14 @@
-"""Stratified-sampling accuracy/efficiency benchmark (BENCH_sampling trajectory).
+"""Sampling accuracy/efficiency benchmark (BENCH_sampling trajectory).
 
-Runs the two-phase stratified engine and the paper's periodic TaskPoint
-configuration over the full 19-workload registry against shared detailed
-baselines, and records the quality trade-off the stratified engine is
+Runs the two-phase stratified engine, the paper's periodic TaskPoint
+configuration and the online error-budget fidelity controller (a 1/2/5/10%
+budget sweep) over the full 19-workload registry against shared detailed
+baselines, and records the quality trade-offs the adaptive engines are
 supposed to win: comparable error inside the Figure 7-10 bounds at a
-substantially lower detailed-instance budget, with a 95% confidence interval
-that actually covers the detailed execution time.
+substantially lower detailed-instance budget, a 95% confidence interval
+that actually covers the detailed execution time, and — for the fidelity
+controller — achieved error within the declared budget at a detailed
+fraction below periodic sampling's.
 
 The measured numbers are **deterministic** in (scale, seed, thread count) —
 no wall-clock is involved — so unlike the hot-path microbenchmark the
@@ -44,6 +47,7 @@ from common import (
 from repro.analysis.accuracy import evaluate_specs, grid_specs, summarize
 from repro.analysis.reporting import format_table, render_accuracy_table
 from repro.core.config import TaskPointConfig
+from repro.core.fidelity import FidelityConfig
 from repro.core.stratified import StratifiedConfig
 
 TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_sampling.json"
@@ -70,6 +74,15 @@ MAX_MAX_ERROR = 45.0
 MAX_DETAIL_RATIO = 0.6
 MIN_CI_COVERAGE = 0.9
 
+#: Error budgets swept through the fidelity controller (1/2/5/10%).
+FIDELITY_BUDGETS = (0.01, 0.02, 0.05, 0.10)
+
+#: Acceptance gate, asserted on full runs at this budget: at most this many
+#: workloads may exceed the budget (>= 17/19 within), and the controller's
+#: summed detailed fraction must stay below periodic sampling's.
+ACCEPTANCE_BUDGET = 0.02
+MAX_BUDGET_VIOLATORS = 2
+
 
 def _smoke() -> bool:
     return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
@@ -82,18 +95,29 @@ def _sampling_scale() -> float:
     return SMOKE_SCALE if _smoke() else FULL_SCALE
 
 
-def _evaluate(workloads, config, scale, seed):
-    specs = grid_specs(
-        workloads, [NUM_THREADS], architecture=HIGH_PERFORMANCE,
-        config=config, scale=scale, seed=seed,
-    )
-    return evaluate_specs(specs)
-
-
 def _measure(workloads, scale, seed) -> dict:
     stratified_config = StratifiedConfig()
-    stratified = _evaluate(workloads, stratified_config, scale, seed)
-    periodic = _evaluate(workloads, TaskPointConfig(), scale, seed)
+    configs = [stratified_config, TaskPointConfig()] + [
+        FidelityConfig(error_budget=budget) for budget in FIDELITY_BUDGETS
+    ]
+    # One batch for all engines, so the orchestrator runs each workload's
+    # detailed baseline exactly once instead of once per engine.
+    specs = []
+    for config in configs:
+        specs.extend(
+            grid_specs(
+                workloads, [NUM_THREADS], architecture=HIGH_PERFORMANCE,
+                config=config, scale=scale, seed=seed,
+            )
+        )
+    results = evaluate_specs(specs)
+    count = len(workloads)
+    per_config = [
+        results[index * count:(index + 1) * count]
+        for index in range(len(configs))
+    ]
+    stratified, periodic = per_config[0], per_config[1]
+    fidelity_by_budget = dict(zip(FIDELITY_BUDGETS, per_config[2:]))
 
     rows = []
     for strat_row, periodic_row in zip(stratified, periodic):
@@ -116,6 +140,42 @@ def _measure(workloads, scale, seed) -> dict:
     periodic_summary = summarize(periodic)
     strat_detail = sum(row.detailed_fraction for row in stratified)
     periodic_detail = sum(row.detailed_fraction for row in periodic)
+
+    fidelity_sweep = []
+    for budget in FIDELITY_BUDGETS:
+        budget_results = fidelity_by_budget[budget]
+        budget_summary = summarize(budget_results)
+        detail_sum = sum(row.detailed_fraction for row in budget_results)
+        fidelity_sweep.append(
+            {
+                "error_budget": budget,
+                "avg_error_percent": budget_summary.average_error_percent,
+                "median_error_percent": budget_summary.median_error_percent,
+                "max_error_percent": budget_summary.max_error_percent,
+                "budget_hit_rate": budget_summary.budget_hit_rate,
+                "within_budget_count": sum(
+                    1 for row in budget_results if row.within_budget
+                ),
+                "workload_count": len(budget_results),
+                "ci_coverage": budget_summary.ci_coverage,
+                "detailed_fraction_sum": detail_sum,
+                "detail_ratio_vs_periodic": (
+                    detail_sum / periodic_detail if periodic_detail else None
+                ),
+                "workloads": [
+                    {
+                        "workload": row.benchmark,
+                        "error_percent": row.error_percent,
+                        "detailed_fraction": row.detailed_fraction,
+                        "within_budget": row.within_budget,
+                        "ci_half_width_percent": row.ci_half_width_percent,
+                        "ci_covers_detailed": row.ci_covers_detailed,
+                    }
+                    for row in budget_results
+                ],
+            }
+        )
+
     return {
         "scale": scale,
         "seed": seed,
@@ -132,7 +192,12 @@ def _measure(workloads, scale, seed) -> dict:
         "ci_coverage": strat_summary.ci_coverage,
         "avg_ci_half_width_percent": strat_summary.average_ci_half_width_percent,
         "detail_ratio": strat_detail / periodic_detail if periodic_detail else None,
+        "fidelity": {
+            "budgets": list(FIDELITY_BUDGETS),
+            "sweep": fidelity_sweep,
+        },
         "_stratified_results": stratified,
+        "_fidelity_results": fidelity_by_budget.get(ACCEPTANCE_BUDGET, []),
     }
 
 
@@ -168,6 +233,7 @@ def test_sampling_quality(benchmark, workloads_subset):
         _measure, args=(workloads, scale, seed), rounds=1, iterations=1
     )
     stratified_results = measurement.pop("_stratified_results")
+    fidelity_results = measurement.pop("_fidelity_results")
     measurement["smoke"] = smoke
     measurement["workload_subset"] = subset
 
@@ -206,6 +272,31 @@ def test_sampling_quality(benchmark, workloads_subset):
         ),
         f"detailed-budget ratio (stratified/periodic): "
         f"{measurement['detail_ratio']:.2f}",
+        "",
+        render_accuracy_table(
+            fidelity_results,
+            title=(
+                f"Fidelity controller (error budget "
+                f"{ACCEPTANCE_BUDGET:.0%}), high-performance architecture, "
+                f"{NUM_THREADS} threads, scale={scale}"
+            ),
+        ),
+        "",
+        format_table(
+            ["error budget [%]", "avg err [%]", "median err [%]",
+             "max err [%]", "within budget", "detailed frac (sum)",
+             "vs periodic"],
+            [
+                [point["error_budget"] * 100.0,
+                 point["avg_error_percent"],
+                 point["median_error_percent"],
+                 point["max_error_percent"],
+                 f"{point['within_budget_count']}/{point['workload_count']}",
+                 point["detailed_fraction_sum"],
+                 point["detail_ratio_vs_periodic"]]
+                for point in measurement["fidelity"]["sweep"]
+            ],
+        ),
     ]
     text = "\n".join(parts)
     write_result("sampling", text)
@@ -228,4 +319,20 @@ def test_sampling_quality(benchmark, workloads_subset):
             f"95% CI covered detailed on only "
             f"{measurement['ci_coverage']:.0%} of workloads "
             f"(target >= {MIN_CI_COVERAGE:.0%})"
+        )
+        acceptance = next(
+            point for point in measurement["fidelity"]["sweep"]
+            if point["error_budget"] == ACCEPTANCE_BUDGET
+        )
+        violators = (
+            acceptance["workload_count"] - acceptance["within_budget_count"]
+        )
+        assert violators <= MAX_BUDGET_VIOLATORS, (
+            f"fidelity at {ACCEPTANCE_BUDGET:.0%} budget exceeded it on "
+            f"{violators} workloads (allowed {MAX_BUDGET_VIOLATORS})"
+        )
+        assert acceptance["detail_ratio_vs_periodic"] < 1.0, (
+            f"fidelity at {ACCEPTANCE_BUDGET:.0%} budget spent "
+            f"{acceptance['detail_ratio_vs_periodic']:.2f}x of periodic's "
+            f"detailed budget (must stay below 1.0)"
         )

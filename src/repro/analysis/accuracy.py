@@ -30,10 +30,13 @@ class AccuracyResult:
     """Error/speedup of one (benchmark, architecture, threads) experiment.
 
     The ``ci_*`` fields are only populated for sampling modes that report a
-    confidence interval (the stratified engine); they stay ``None`` for
-    TaskPoint's periodic/lazy modes.  ``ci_covers_detailed`` is the headline
-    check — whether the reported 95% interval contains the detailed-mode
-    execution time the sampled run is estimating.
+    confidence interval (the stratified and fidelity engines); they stay
+    ``None`` for TaskPoint's periodic/lazy modes.  ``ci_covers_detailed`` is
+    the headline check — whether the reported 95% interval contains the
+    detailed-mode execution time the sampled run is estimating.  The
+    ``error_budget_percent``/``within_budget`` pair is populated only for
+    fidelity-mode runs: the budget the controller was asked to meet and
+    whether the achieved error met it.
     """
 
     benchmark: str
@@ -50,6 +53,8 @@ class AccuracyResult:
     ci_lower_cycles: Optional[float] = None
     ci_upper_cycles: Optional[float] = None
     ci_covers_detailed: Optional[bool] = None
+    error_budget_percent: Optional[float] = None
+    within_budget: Optional[bool] = None
 
 
 @dataclass(frozen=True)
@@ -58,7 +63,9 @@ class AccuracySummary:
 
     ``ci_coverage`` and ``average_ci_half_width_percent`` aggregate the
     confidence intervals of results that carry one; both are ``None`` when no
-    result in the set does (periodic/lazy grids).
+    result in the set does (periodic/lazy grids).  ``budget_hit_rate`` is the
+    fraction of fidelity-mode rows whose achieved error stayed within the
+    declared error budget (``None`` outside fidelity grids).
     """
 
     average_error_percent: float
@@ -70,6 +77,7 @@ class AccuracySummary:
     count: int
     ci_coverage: Optional[float] = None
     average_ci_half_width_percent: Optional[float] = None
+    budget_hit_rate: Optional[float] = None
 
 
 def evaluate_benchmark(
@@ -119,11 +127,18 @@ def accuracy_from_experiments(
         ci_lower = float(confidence["lower_cycles"])
         ci_upper = float(confidence["upper_cycles"])
         ci_covers = ci_lower <= detailed.total_cycles <= ci_upper
+    budget_percent = None
+    within_budget = None
+    fidelity = (sampled.taskpoint or {}).get("fidelity")
+    error_percent = float(sampled.error_versus(detailed) * 100.0)
+    if fidelity:
+        budget_percent = float(fidelity["error_budget"]) * 100.0
+        within_budget = bool(error_percent <= budget_percent)
     return AccuracyResult(
         benchmark=sampled.benchmark,
         architecture=sampled.architecture,
         num_threads=sampled.num_threads,
-        error_percent=sampled.error_versus(detailed) * 100.0,
+        error_percent=error_percent,
         speedup=sampled.speedup_versus(detailed),
         wall_speedup=sampled.wall_speedup_versus(detailed),
         detailed_cycles=detailed.total_cycles,
@@ -134,6 +149,8 @@ def accuracy_from_experiments(
         ci_lower_cycles=ci_lower,
         ci_upper_cycles=ci_upper,
         ci_covers_detailed=ci_covers,
+        error_budget_percent=budget_percent,
+        within_budget=within_budget,
     )
 
 
@@ -278,6 +295,12 @@ def summarize(results: Iterable[AccuracyResult]) -> AccuracySummary:
         average_ci_half_width = sum(
             r.ci_half_width_percent for r in with_ci
         ) / len(with_ci)
+    with_budget = [r for r in results if r.within_budget is not None]
+    budget_hit_rate = None
+    if with_budget:
+        budget_hit_rate = sum(1 for r in with_budget if r.within_budget) / len(
+            with_budget
+        )
     return AccuracySummary(
         average_error_percent=sum(errors) / len(errors),
         median_error_percent=statistics.median(errors),
@@ -288,6 +311,7 @@ def summarize(results: Iterable[AccuracyResult]) -> AccuracySummary:
         count=len(results),
         ci_coverage=ci_coverage,
         average_ci_half_width_percent=average_ci_half_width,
+        budget_hit_rate=budget_hit_rate,
     )
 
 

@@ -39,15 +39,22 @@ def _format_cell(cell: object) -> str:
 def render_accuracy_table(results: Sequence[AccuracyResult], title: str = "") -> str:
     """Render per-benchmark error/speedup rows plus per-thread averages.
 
-    When any result carries a confidence interval (stratified-mode runs), a
-    ``ci95 [%]`` half-width column and a per-row coverage marker are added,
-    and the overall summary reports the CI coverage — the fraction of rows
-    whose reported interval contains the detailed-mode execution time.
+    When any result carries a confidence interval (stratified- or
+    fidelity-mode runs), a ``ci95 [%]`` half-width column and a per-row
+    coverage marker are added, and the overall summary reports the CI
+    coverage — the fraction of rows whose reported interval contains the
+    detailed-mode execution time.  When any result carries an error budget
+    (fidelity-mode runs), ``budget [%]``/``within`` columns compare the
+    achieved error against the declared budget and the summary reports the
+    budget hit rate.
     """
     with_ci = any(result.ci_covers_detailed is not None for result in results)
+    with_budget = any(result.within_budget is not None for result in results)
     headers = ["benchmark", "threads", "error [%]", "speedup", "detailed frac", "resamples"]
     if with_ci:
         headers += ["ci95 [%]", "covers"]
+    if with_budget:
+        headers += ["budget [%]", "within"]
     rows: List[List[object]] = []
     for result in results:
         row: List[object] = [
@@ -65,6 +72,14 @@ def render_accuracy_table(results: Sequence[AccuracyResult], title: str = "") ->
                 row += [
                     result.ci_half_width_percent,
                     "yes" if result.ci_covers_detailed else "no",
+                ]
+        if with_budget:
+            if result.within_budget is None:
+                row += ["-", "-"]
+            else:
+                row += [
+                    result.error_budget_percent,
+                    "yes" if result.within_budget else "no",
                 ]
         rows.append(row)
     text = format_table(headers, rows)
@@ -86,6 +101,8 @@ def render_accuracy_table(results: Sequence[AccuracyResult], title: str = "") ->
             f", ci coverage {overall.ci_coverage * 100.0:.0f}%"
             f" (avg halfwidth {overall.average_ci_half_width_percent:.2f}%)"
         )
+    if overall.budget_hit_rate is not None:
+        overall_line += f", budget hit rate {overall.budget_hit_rate * 100.0:.0f}%"
     summary_lines.append(overall_line)
     parts = []
     if title:

@@ -48,8 +48,9 @@ from repro.analysis.reporting import format_table, render_accuracy_table
 from repro.analysis.sweep import history_sweep, period_sweep, warmup_sweep
 from repro.analysis.variation import ipc_variation
 from repro.arch.config import high_performance_config, low_power_config
-from repro.core.api import sampled_simulation, stratified_simulation
+from repro.core.api import fidelity_simulation, sampled_simulation, stratified_simulation
 from repro.core.config import TaskPointConfig
+from repro.core.fidelity import FidelityConfig
 from repro.core.stratified import StratifiedConfig
 from repro.exp import (
     BACKEND_NAMES,
@@ -82,10 +83,124 @@ def _taskpoint_config(args: argparse.Namespace) -> TaskPointConfig:
 
 
 def _sampling_config(args: argparse.Namespace):
-    """Sampling config selected by ``--policy`` (TaskPoint or stratified)."""
-    if getattr(args, "policy", None) == "stratified":
+    """Sampling config selected by ``--policy``/``--mode``."""
+    policy = getattr(args, "policy", None)
+    if policy == "stratified":
         return StratifiedConfig(budget=args.budget)
+    if policy == "fidelity":
+        return FidelityConfig(
+            error_budget=args.error_budget, warmup_instances=args.warmup
+        )
     return _taskpoint_config(args)
+
+
+def _fraction(flag: str, *, max_inclusive: bool):
+    """An argparse ``type=`` callable enforcing a fraction range.
+
+    ``max_inclusive=True`` accepts ``0 < value <= 1`` (detail budgets — 1
+    means "simulate everything in detail"); ``max_inclusive=False`` accepts
+    ``0 < value < 1`` (error budgets — a 100% error budget is meaningless).
+    """
+
+    def parse(raw: str) -> float:
+        try:
+            value = float(raw)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"{flag} must be a number, got {raw!r}")
+        in_range = 0 < value <= 1 if max_inclusive else 0 < value < 1
+        if not in_range:
+            bound = "(0, 1]" if max_inclusive else "(0, 1)"
+            raise argparse.ArgumentTypeError(
+                f"{flag} must be a fraction in {bound}, got {raw}"
+            )
+        return value
+
+    return parse
+
+
+def _bounded_int(flag: str, minimum: int):
+    """An argparse ``type=`` callable enforcing an integer lower bound."""
+
+    def parse(raw: str) -> int:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"{flag} must be an integer, got {raw!r}")
+        if value < minimum:
+            raise argparse.ArgumentTypeError(
+                f"{flag} must be >= {minimum}, got {value}"
+            )
+        return value
+
+    return parse
+
+
+#: Defaults of the sampling flags, applied only after the applicability
+#: check below — the parser-level defaults are ``None`` so "user passed the
+#: flag" is distinguishable from "flag left at its default".
+_SAMPLING_DEFAULTS = {
+    "policy": "periodic",
+    "period": 250,
+    "warmup": 2,
+    "history": 4,
+    "budget": 0.02,
+    "error_budget": 0.02,
+}
+
+#: Which sampling flags each engine actually consumes.  Passing any other
+#: sampling flag is an error (satellite: flags were previously ignored
+#: silently, e.g. ``--budget`` under a periodic policy).
+_FLAG_APPLICABILITY = {
+    "periodic": {"period", "warmup", "history"},
+    "lazy": {"warmup", "history"},
+    "stratified": {"budget"},
+    "fidelity": {"error_budget", "warmup"},
+}
+
+_FLAG_SPELLING = {
+    "period": "--period",
+    "warmup": "--warmup",
+    "history": "--history",
+    "budget": "--budget",
+    "error_budget": "--error-budget",
+}
+
+
+def _resolve_sampling_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    """Validate sampling-flag applicability and fill in defaults.
+
+    Resolves the effective sampling engine from ``--mode``/``--policy``,
+    rejects (via ``parser.error``, exit code 2) any sampling flag the
+    selected engine does not consume, then replaces the ``None`` sentinels
+    with the real defaults so the command implementations never see a
+    partially-populated namespace.
+    """
+    mode = getattr(args, "mode", None)
+    if mode == "detailed":
+        engine = None
+        if args.policy is not None:
+            parser.error("--policy does not apply to --mode detailed")
+    elif mode in (None, "sampled"):
+        engine = args.policy if args.policy is not None else "periodic"
+    else:  # an explicit engine mode: stratified / fidelity
+        engine = mode
+        if args.policy is not None and args.policy != engine:
+            parser.error(
+                f"--policy {args.policy} conflicts with --mode {engine}"
+            )
+    allowed = _FLAG_APPLICABILITY.get(engine, set())
+    for flag in ("period", "warmup", "history", "budget", "error_budget"):
+        if getattr(args, flag, None) is not None and flag not in allowed:
+            target = f"--mode {mode}" if engine is None else f"the {engine} engine"
+            parser.error(
+                f"{_FLAG_SPELLING[flag]} does not apply to {target}"
+            )
+    args.policy = engine
+    for flag, default in _SAMPLING_DEFAULTS.items():
+        if flag != "policy" and getattr(args, flag, None) is None:
+            setattr(args, flag, default)
 
 
 def _int_list(raw: str) -> List[int]:
@@ -131,18 +246,48 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
                         default="high-performance")
 
 
+_POLICY_CHOICES = ["periodic", "lazy", "stratified", "fidelity"]
+
+
 def _add_taskpoint_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--policy", choices=["periodic", "lazy", "stratified"],
-                        default="periodic",
-                        help="sampling engine: TaskPoint periodic/lazy, or "
+    parser.add_argument("--policy", choices=_POLICY_CHOICES,
+                        default=None,
+                        help="sampling engine: TaskPoint periodic/lazy, "
                              "two-phase stratified sampling with confidence "
-                             "intervals")
-    parser.add_argument("--period", type=int, default=250, help="sampling period P")
-    parser.add_argument("--warmup", type=int, default=2, help="warm-up instances W")
-    parser.add_argument("--history", type=int, default=4, help="history size H")
-    parser.add_argument("--budget", type=float, default=0.02,
+                             "intervals, or the online error-budget fidelity "
+                             "controller (default: periodic)")
+    parser.add_argument("--period", type=_bounded_int("--period", 1),
+                        default=None,
+                        help="periodic policy only: sampling period P "
+                             "(default 250)")
+    parser.add_argument("--warmup", type=_bounded_int("--warmup", 0),
+                        default=None,
+                        help="periodic/lazy/fidelity: warm-up instances W "
+                             "(default 2)")
+    parser.add_argument("--history", type=_bounded_int("--history", 1),
+                        default=None,
+                        help="periodic/lazy: history size H (default 4)")
+    parser.add_argument("--budget", type=_fraction("--budget", max_inclusive=True),
+                        default=None,
                         help="stratified mode only: target fraction of task "
-                             "instances simulated in detail (default 0.02)")
+                             "instances simulated in detail, in (0, 1] "
+                             "(default 0.02)")
+    parser.add_argument("--error-budget", dest="error_budget",
+                        type=_fraction("--error-budget", max_inclusive=False),
+                        default=None,
+                        help="fidelity mode only: relative execution-time "
+                             "error budget, in (0, 1) (default 0.02)")
+
+
+def _add_mode_alias(parser: argparse.ArgumentParser) -> None:
+    """Add ``--mode`` as an alias of ``--policy`` (for compare/grid).
+
+    ``simulate`` has its own ``--mode`` (which also offers ``detailed``);
+    the experiment commands take the engine name through either spelling —
+    the acceptance workflows use ``--mode fidelity``.
+    """
+    parser.add_argument("--mode", dest="policy", choices=_POLICY_CHOICES,
+                        default=None, help="alias for --policy")
 
 
 def _add_orchestrator_arguments(parser: argparse.ArgumentParser) -> None:
@@ -196,16 +341,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     sim = subparsers.add_parser("simulate", help="simulate one benchmark")
     _add_common_arguments(sim)
-    sim.add_argument("--mode", choices=["detailed", "sampled", "stratified"],
+    sim.add_argument("--mode",
+                     choices=["detailed", "sampled", "stratified", "fidelity"],
                      default="sampled",
-                     help="detailed baseline, TaskPoint sampling, or "
-                          "two-phase stratified sampling (equivalent to "
-                          "--mode sampled --policy stratified)")
+                     help="detailed baseline, TaskPoint sampling, two-phase "
+                          "stratified sampling, or the online error-budget "
+                          "fidelity controller (stratified/fidelity are "
+                          "equivalent to --mode sampled --policy <engine>)")
     _add_taskpoint_arguments(sim)
 
     cmp = subparsers.add_parser("compare", help="sampled versus detailed simulation")
     _add_common_arguments(cmp)
     _add_taskpoint_arguments(cmp)
+    _add_mode_alias(cmp)
     _add_orchestrator_arguments(cmp)
 
     grid = subparsers.add_parser(
@@ -221,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--architecture", choices=["high-performance", "low-power"],
                       default="high-performance")
     _add_taskpoint_arguments(grid)
+    _add_mode_alias(grid)
     _add_orchestrator_arguments(grid)
 
     sweep = subparsers.add_parser(
@@ -261,12 +410,19 @@ def _command_list() -> int:
 def _command_simulate(args: argparse.Namespace) -> int:
     trace = get_workload(args.benchmark).generate(scale=args.scale, seed=args.seed)
     architecture = _architecture(args.architecture)
-    if args.mode == "detailed":
+    if args.policy is None:  # --mode detailed
         result = simulate(trace, num_threads=args.threads, architecture=architecture)
-    elif args.mode == "stratified" or args.policy == "stratified":
+    elif args.policy == "stratified":
         result = stratified_simulation(
             trace, num_threads=args.threads, architecture=architecture,
             config=StratifiedConfig(budget=args.budget),
+        )
+    elif args.policy == "fidelity":
+        result = fidelity_simulation(
+            trace, num_threads=args.threads, architecture=architecture,
+            config=FidelityConfig(
+                error_budget=args.error_budget, warmup_instances=args.warmup
+            ),
         )
     else:
         result = sampled_simulation(
@@ -281,6 +437,14 @@ def _command_simulate(args: argparse.Namespace) -> int:
         print(f"{'ci95 halfwidth':20s}: {confidence['half_width_percent']:.2f} %")
         print(f"{'ci95 cycles':20s}: [{confidence['lower_cycles']:,.0f}, "
               f"{confidence['upper_cycles']:,.0f}]")
+    stats = result.metadata.get("taskpoint")
+    fidelity = getattr(stats, "fidelity_summary", None)
+    if callable(fidelity):
+        info = fidelity()
+        print(f"{'error budget':20s}: {info['error_budget'] * 100:.1f} %")
+        print(f"{'committed types':20s}: {info['committed_types']}/{info['num_types']}"
+              f" (commits {info['commits']}, reopens {info['reopens']},"
+              f" probes {info['probes']})")
     return 0
 
 
@@ -362,6 +526,8 @@ def _command_grid(args: argparse.Namespace) -> int:
         policy = "lazy"
     elif args.policy == "stratified":
         policy = f"stratified budget={args.budget}"
+    elif args.policy == "fidelity":
+        policy = f"fidelity error-budget={args.error_budget}"
     else:
         policy = f"periodic P={args.period}"
     print(render_accuracy_table(
@@ -425,7 +591,10 @@ def _command_variation(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in ("simulate", "compare", "grid"):
+        _resolve_sampling_args(parser, args)
     try:
         if args.command == "list":
             return _command_list()

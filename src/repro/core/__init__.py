@@ -41,6 +41,11 @@ from repro.core.policies import (
     make_policy,
 )
 from repro.core.controller import ResampleReason, SamplingPhase, TaskPointController, TaskPointStatistics
+from repro.core.fidelity import (
+    FidelityConfig,
+    FidelityController,
+    FidelityStatistics,
+)
 from repro.core.stratified import (
     StratifiedConfig,
     StratifiedController,
@@ -48,6 +53,7 @@ from repro.core.stratified import (
 )
 from repro.core.api import (
     compare_with_detailed,
+    fidelity_simulation,
     sampled_simulation,
     stratified_simulation,
 )
@@ -70,7 +76,11 @@ __all__ = [
     "StratifiedConfig",
     "StratifiedController",
     "StratifiedStatistics",
+    "FidelityConfig",
+    "FidelityController",
+    "FidelityStatistics",
     "sampled_simulation",
     "stratified_simulation",
+    "fidelity_simulation",
     "compare_with_detailed",
 ]

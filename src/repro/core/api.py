@@ -13,6 +13,7 @@ from typing import Optional
 from repro.arch.config import ArchitectureConfig
 from repro.core.config import TaskPointConfig
 from repro.core.controller import TaskPointController, TaskPointStatistics
+from repro.core.fidelity import FidelityConfig, FidelityController
 from repro.core.policies import SamplingPolicy
 from repro.core.stratified import StratifiedConfig, StratifiedController
 from repro.sim.results import SimulationResult
@@ -62,6 +63,35 @@ def stratified_simulation(
     when nothing was fast-forwarded, i.e. the estimate is exact).
     """
     controller = StratifiedController(trace, config=config)
+    simulator = TaskSimSimulator(
+        architecture=architecture, scheduler=scheduler, scheduler_seed=scheduler_seed
+    )
+    result = simulator.run(trace, num_threads=num_threads, controller=controller)
+    result.metadata["taskpoint"] = controller.stats
+    result.metadata["confidence"] = controller.stats.confidence_summary(
+        result.total_cycles
+    )
+    return result
+
+
+def fidelity_simulation(
+    trace: ApplicationTrace,
+    num_threads: int = 8,
+    architecture: Optional[ArchitectureConfig] = None,
+    config: Optional[FidelityConfig] = None,
+    scheduler: str = "fifo",
+    scheduler_seed: int = 0,
+) -> SimulationResult:
+    """Simulate ``trace`` under the online error-budget fidelity controller.
+
+    Each task type is switched between detailed simulation and fast-forward
+    on the fly so that the run's estimated relative error stays within
+    ``config.error_budget``.  As with :func:`stratified_simulation`, the
+    sampling statistics land in the result metadata under ``"taskpoint"``
+    and the 95% confidence interval of the execution-time estimate under
+    ``"confidence"`` (``None`` when nothing was fast-forwarded).
+    """
+    controller = FidelityController(trace, config=config)
     simulator = TaskSimSimulator(
         architecture=architecture, scheduler=scheduler, scheduler_seed=scheduler_seed
     )

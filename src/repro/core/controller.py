@@ -29,7 +29,7 @@ from __future__ import annotations
 import enum
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 from repro.core.config import TaskPointConfig
 from repro.core.fastforward import FastForwardEstimator
@@ -60,6 +60,19 @@ class ResampleReason(enum.Enum):
     THREAD_COUNT_CHANGE = "thread_count_change"
     NEW_TASK_TYPE = "new_task_type"
     EMPTY_HISTORY = "empty_history"
+    #: Per-type drift re-open of the fidelity controller: the type's
+    #: prequential residual window shifted outside its error allowance.
+    DRIFT = "drift"
+
+
+#: IPC recorded for a detailed completion that measured no forward progress
+#: (``ipc <= 0``, e.g. a zero-instruction task type).  Recording a floor
+#: sample instead of dropping the completion keeps the type's history
+#: non-empty — fast-forwarding a zero-instruction instance at this IPC
+#: costs ``0 / ZERO_IPC_FLOOR = 0`` cycles, while dropping it made every
+#: fast-forward attempt of the type fire an EMPTY_HISTORY resample
+#: (degrading the whole run to detailed simulation).
+ZERO_IPC_FLOOR = 1e-9
 
 
 @dataclass
@@ -117,10 +130,15 @@ class TaskPointController:
         self.stats = TaskPointStatistics()
 
         self.phase = SamplingPhase.SAMPLING
-        # Per-worker warm-up budget: W at simulation start, 1 after a resample.
-        self._warmup_remaining: Dict[int, int] = defaultdict(
-            lambda: self.config.warmup_instances
-        )
+        # Per-worker warm-up budget.  Tracked explicitly per worker rather
+        # than via a defaultdict factory: a worker's *first* participation
+        # always warms with the full W (``warmup_instances``), even when it
+        # joins after a resample; only workers that already warmed re-warm
+        # with the short ``resample_warmup_instances`` budget.  (The former
+        # factory swap in ``_trigger_resample`` gave late-joining workers
+        # the short budget for their initial warm-up.)
+        self._warmup_remaining: Dict[int, int] = {}
+        self._warmed_workers: Set[int] = set()
         # Per-worker count of consecutive completed instances whose type was
         # already fully sampled (used for the rare-type sampling cut-off).
         self._since_rare: Dict[int, int] = defaultdict(int)
@@ -173,11 +191,10 @@ class TaskPointController:
         self._since_rare.clear()
         self._fast_forwarded.clear()
         self._thread_change_streak = 0
-        # Re-warm every thread that participates from here on with the
-        # (short) resample warm-up budget.
-        warmup = self.config.resample_warmup_instances
+        # Re-warm already-warmed threads with the (short) resample warm-up
+        # budget; a worker first participating after this still gets the
+        # full initial W (see ``_remaining_warmup``).
         self._warmup_remaining.clear()
-        self._warmup_remaining.default_factory = lambda: warmup
 
     def _thread_count_changed(self, active_workers: int) -> bool:
         """Check the Figure 4a trigger with tolerance and persistence.
@@ -243,8 +260,26 @@ class TaskPointController:
         self.stats.fast_forwarded += 1
         return burst_decision(estimate.ipc)
 
+    def _remaining_warmup(self, worker_id: int) -> int:
+        """This worker's current warm-up budget, lazily initialised.
+
+        A worker absent from ``_warmup_remaining`` is starting (or
+        re-starting after a resample cleared the table): its budget is the
+        short resample warm-up if it has warmed before, the full initial W
+        otherwise.
+        """
+        remaining = self._warmup_remaining.get(worker_id)
+        if remaining is None:
+            remaining = (
+                self.config.resample_warmup_instances
+                if worker_id in self._warmed_workers
+                else self.config.warmup_instances
+            )
+            self._warmup_remaining[worker_id] = remaining
+        return remaining
+
     def _detailed_decision(self, worker_id: int) -> ModeDecision:
-        if self._warmup_remaining[worker_id] > 0:
+        if self._remaining_warmup(worker_id) > 0:
             return DETAILED_WARMUP_DECISION
         return DETAILED_DECISION
 
@@ -252,17 +287,24 @@ class TaskPointController:
         """Record the measured IPC of a detailed instance in the histories."""
         if info.mode is not SimulationMode.DETAILED:
             return
-        if info.ipc <= 0:
-            return
+        self._warmed_workers.add(info.worker_id)
+        # A detailed completion that measured no forward progress (a
+        # zero-instruction task type) still records a floor sample: it must
+        # populate the history and run the warm-up / rare-type bookkeeping
+        # below, otherwise the type stays unestimable and every fast-forward
+        # attempt fires an EMPTY_HISTORY resample (a resample storm that
+        # degrades the run to fully detailed).
+        ipc = info.ipc if info.ipc > 0 else ZERO_IPC_FLOOR
         state = self.histories.state(info.instance.task_type.name)
         if info.is_warmup:
             # Warm-up instances only feed the history of all samples.
-            state.record_detailed(info.ipc, valid=False)
+            state.record_detailed(ipc, valid=False)
             self.stats.warmup_instances += 1
-            if self._warmup_remaining[info.worker_id] > 0:
-                self._warmup_remaining[info.worker_id] -= 1
+            remaining = self._remaining_warmup(info.worker_id)
+            if remaining > 0:
+                self._warmup_remaining[info.worker_id] = remaining - 1
         elif self.phase is SamplingPhase.SAMPLING:
-            state.record_detailed(info.ipc, valid=True)
+            state.record_detailed(ipc, valid=True)
             self.stats.valid_samples += 1
             dispersion = state.valid.coefficient_of_variation()
             if dispersion is not None:
@@ -270,7 +312,7 @@ class TaskPointController:
         else:
             # The instance started in detail before the transition to fast
             # mode and finished afterwards: only the history of all samples.
-            state.record_detailed(info.ipc, valid=False)
+            state.record_detailed(ipc, valid=False)
             self.stats.invalid_samples += 1
 
         # Rare-type cut-off bookkeeping: a completed detailed instance of a

@@ -44,9 +44,8 @@ note there).
 from __future__ import annotations
 
 import math
-from collections import defaultdict
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
@@ -377,9 +376,12 @@ class StratifiedController:
         # ---- Phase 2 runtime state ----
         self.allocated = False
         self._detailed_decided = 0
-        self._warmup_remaining: Dict[int, int] = defaultdict(
-            lambda: self.config.warmup_instances
-        )
+        # Explicit per-worker warm-up budgets (initial W versus the short
+        # resample budget) — same accounting as TaskPointController: a
+        # worker first participating after a resample still warms with the
+        # full W, only already-warmed workers re-warm with the short budget.
+        self._warmup_remaining: Dict[int, int] = {}
+        self._warmed_workers: Set[int] = set()
         self._sampled_thread_count: Optional[int] = None
         self._thread_change_streak = 0
         # Detailed instances in flight across a resample must not feed the
@@ -410,9 +412,21 @@ class StratifiedController:
         self._sampled_thread_count = None
         self._thread_change_streak = 0
         self._epoch += 1
-        warmup = self.config.resample_warmup_instances
         self._warmup_remaining.clear()
-        self._warmup_remaining.default_factory = lambda: warmup
+
+    def _remaining_warmup(self, worker_id: int) -> int:
+        """This worker's warm-up budget: full initial W on first
+        participation (even after a resample), the short resample budget
+        for already-warmed workers after a resample cleared the table."""
+        remaining = self._warmup_remaining.get(worker_id)
+        if remaining is None:
+            remaining = (
+                self.config.resample_warmup_instances
+                if worker_id in self._warmed_workers
+                else self.config.warmup_instances
+            )
+            self._warmup_remaining[worker_id] = remaining
+        return remaining
 
     def _thread_count_changed(self, active_workers: int) -> bool:
         """TaskPoint's Figure 4a trigger with tolerance and persistence."""
@@ -525,7 +539,7 @@ class StratifiedController:
 
         stratum = self.strata[int(self._stratum_of[instance_id])]
 
-        if self._warmup_remaining[worker_id] > 0:
+        if self._remaining_warmup(worker_id) > 0:
             return self._issue_detailed(stratum, instance_id, worker_id)
 
         if self.allocated and self._thread_count_changed(active_workers):
@@ -575,7 +589,7 @@ class StratifiedController:
         look piloted with zero usable samples.
         """
         self._detailed_decided += 1
-        if self._warmup_remaining[worker_id] > 0:
+        if self._remaining_warmup(worker_id) > 0:
             return DETAILED_WARMUP_DECISION
         if stratum is not None:
             stratum.decided_detailed += 1
@@ -593,6 +607,7 @@ class StratifiedController:
             if stratum is not None:
                 stratum.ff_cycles += info.cycles
             return
+        self._warmed_workers.add(info.worker_id)
         if info.ipc <= 0:
             return
         task_type = info.instance.task_type.name
@@ -603,8 +618,9 @@ class StratifiedController:
             # Warm-up IPCs are cold-cache biased: they feed only the
             # type-level fallback mean, never the stratum estimator.
             self.stats.warmup_instances += 1
-            if self._warmup_remaining[info.worker_id] > 0:
-                self._warmup_remaining[info.worker_id] -= 1
+            remaining = self._remaining_warmup(info.worker_id)
+            if remaining > 0:
+                self._warmup_remaining[info.worker_id] = remaining - 1
             return
         epoch = self._decision_epoch.pop(instance_id, self._epoch)
         if stratum is None or epoch != self._epoch:

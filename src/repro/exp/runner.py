@@ -37,6 +37,7 @@ from collections import OrderedDict
 from typing import Dict, Tuple
 
 from repro.core.controller import TaskPointController
+from repro.core.fidelity import FidelityConfig, FidelityController
 from repro.core.stratified import StratifiedConfig, StratifiedController
 from repro.exp.spec import ExperimentResult, ExperimentSpec
 from repro.sim.simulator import TaskSimSimulator
@@ -142,6 +143,8 @@ def run_spec(spec: ExperimentSpec) -> ExperimentResult:
         return ExperimentResult.from_simulation(spec, result)
     if isinstance(spec.config, StratifiedConfig):
         controller = StratifiedController(trace, config=spec.config)
+    elif isinstance(spec.config, FidelityConfig):
+        controller = FidelityController(trace, config=spec.config)
     else:
         controller = TaskPointController(config=spec.config)
     result = simulator.run(trace, num_threads=spec.num_threads, controller=controller)

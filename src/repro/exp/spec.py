@@ -33,11 +33,12 @@ from repro.arch.config import (
 )
 from repro.core.config import TaskPointConfig
 from repro.core.controller import TaskPointStatistics
+from repro.core.fidelity import FidelityConfig
 from repro.core.stratified import StratifiedConfig
 
 #: The sampling configurations a spec can carry.  ``None`` marks a detailed
 #: baseline run.
-SamplingConfig = Union[TaskPointConfig, StratifiedConfig]
+SamplingConfig = Union[TaskPointConfig, StratifiedConfig, FidelityConfig]
 from repro.sim.cost import SimulationCost
 from repro.sim.results import SimulationResult
 
@@ -144,6 +145,8 @@ class ExperimentSpec:
             return None
         if isinstance(self.config, StratifiedConfig):
             return {"kind": "stratified", **asdict(self.config)}
+        if isinstance(self.config, FidelityConfig):
+            return {"kind": "fidelity", **asdict(self.config)}
         return asdict(self.config)
 
     @staticmethod
@@ -154,6 +157,9 @@ class ExperimentSpec:
         if kind == "stratified":
             fields = {key: value for key, value in data.items() if key != "kind"}
             return StratifiedConfig(**fields)
+        if kind == "fidelity":
+            fields = {key: value for key, value in data.items() if key != "kind"}
+            return FidelityConfig(**fields)
         if kind is not None:
             raise ValueError(f"unknown sampling config kind: {kind!r}")
         return TaskPointConfig(**data)
@@ -210,6 +216,8 @@ class ExperimentSpec:
             mode = "detailed"
         elif isinstance(self.config, StratifiedConfig):
             mode = "stratified"
+        elif isinstance(self.config, FidelityConfig):
+            mode = "fidelity"
         else:
             mode = "sampled"
         return (
@@ -332,6 +340,12 @@ class ExperimentResult:
             confidence = getattr(stats, "confidence_summary", None)
             if callable(confidence):
                 taskpoint["confidence"] = confidence(result.total_cycles)
+            # The fidelity controller additionally records its budget and
+            # commit/re-open counters, which the accuracy tables report as
+            # achieved-error-versus-budget columns.
+            fidelity = getattr(stats, "fidelity_summary", None)
+            if callable(fidelity):
+                taskpoint["fidelity"] = fidelity()
         return cls(
             benchmark=result.benchmark,
             architecture=result.architecture,

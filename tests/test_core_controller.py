@@ -216,6 +216,262 @@ class TestResamplingTriggers:
         assert not state.all.is_empty
 
 
+class TestZeroIpcCompletions:
+    """Satellite: ``ipc <= 0`` completions must not cause a resample storm."""
+
+    def _complete_with_ipc(self, controller, instance, decision, ipc,
+                           worker_id=0, active=1):
+        controller.notify_completion(
+            CompletionInfo(
+                instance=instance,
+                mode=decision.mode,
+                cycles=1000.0,
+                ipc=ipc,
+                is_warmup=decision.is_warmup,
+                start_cycle=0.0,
+                end_cycle=1000.0,
+                worker_id=worker_id,
+                active_workers=active,
+            )
+        )
+
+    def test_zero_ipc_records_floor_sample(self):
+        from repro.core.controller import ZERO_IPC_FLOOR
+
+        config = TaskPointConfig(warmup_instances=0, history_size=1,
+                                 sampling_period=None)
+        controller = TaskPointController(config)
+        instance = make_instance(0, "zero-instr")
+        decision = controller.choose_mode(instance, 0, 1, 0.0)
+        assert decision.mode is SimulationMode.DETAILED
+        self._complete_with_ipc(controller, instance, decision, ipc=0.0)
+        # The completion lands as a valid floor sample, not a drop.
+        assert controller.stats.valid_samples == 1
+        state = controller.histories.state("zero-instr")
+        assert not state.valid.is_empty
+        assert state.valid.mean() == pytest.approx(ZERO_IPC_FLOOR)
+
+    def test_no_resample_storm_from_zero_instruction_type(self):
+        # Regression: dropping ipc<=0 completions left the type's history
+        # empty, so every later fast-forward attempt fired an EMPTY_HISTORY
+        # resample and the run degraded to fully detailed simulation.
+        config = TaskPointConfig(warmup_instances=0, history_size=1,
+                                 sampling_period=None)
+        controller = TaskPointController(config)
+        instance = make_instance(0, "zero-instr")
+        decision = controller.choose_mode(instance, 0, 1, 0.0)
+        self._complete_with_ipc(controller, instance, decision, ipc=0.0)
+        for index in range(20):
+            follower = make_instance(1 + index, "zero-instr")
+            decision = controller.choose_mode(follower, 0, 1, float(index))
+            assert decision.mode is SimulationMode.BURST
+        assert controller.stats.fast_forwarded == 20
+        assert controller.stats.resamples == 0
+        assert controller.stats.resample_reasons[ResampleReason.EMPTY_HISTORY] == 0
+
+
+class TestWarmupBudgets:
+    """Satellite: initial-vs-resample warm-up budgets are per worker."""
+
+    def _resampled_controller(self, warmup_instances=3):
+        config = TaskPointConfig(warmup_instances=warmup_instances,
+                                 history_size=1, sampling_period=None,
+                                 resample_warmup_instances=1)
+        controller = TaskPointController(config)
+        drive_single_thread(controller, warmup_instances + 1)
+        instance = make_instance(50)
+        decision = controller.choose_mode(instance, 0, 1, 0.0)
+        assert decision.mode is SimulationMode.BURST
+        complete(controller, instance, decision)
+        # A brand-new task type triggers the resample under test.
+        decision = controller.choose_mode(make_instance(60, "brand-new"), 0, 1, 0.0)
+        assert controller.stats.resamples == 1
+        assert decision.is_warmup  # worker 0 re-warms with the short budget
+        complete(controller, make_instance(60, "brand-new"), decision)
+        return controller
+
+    def test_late_joining_worker_gets_full_initial_warmup(self):
+        # Regression: the resample used to swap the warm-up defaultdict's
+        # factory, so a worker whose *first* participation came after a
+        # resample warmed with the short resample budget instead of W.
+        controller = self._resampled_controller(warmup_instances=3)
+        warmups = []
+        for index in range(5):
+            instance = make_instance(70 + index)
+            decision = controller.choose_mode(instance, worker_id=5,
+                                              active_workers=2,
+                                              current_cycle=float(index))
+            warmups.append(decision.is_warmup)
+            complete(controller, instance, decision, worker_id=5, active=2)
+        assert warmups == [True, True, True, False, False]
+
+    def test_warmed_worker_rewarms_with_short_budget(self):
+        controller = self._resampled_controller(warmup_instances=3)
+        # Worker 0 already consumed its one resample warm-up instance in the
+        # fixture; its next decisions are plain detailed samples.
+        instance = make_instance(90)
+        decision = controller.choose_mode(instance, 0, 1, 0.0)
+        assert decision.mode is SimulationMode.DETAILED
+        assert not decision.is_warmup
+
+    def test_thread_count_increase_gives_new_workers_full_warmup(self):
+        config = TaskPointConfig(warmup_instances=2, history_size=1,
+                                 sampling_period=None,
+                                 resample_warmup_instances=1,
+                                 thread_change_tolerance=0.5,
+                                 thread_change_persistence=1)
+        controller = TaskPointController(config)
+        # Worker 0 warms and samples alone, then fast-forwards.
+        drive_single_thread(controller, 3)
+        instance = make_instance(10)
+        decision = controller.choose_mode(instance, 0, 1, 0.0)
+        assert decision.mode is SimulationMode.BURST
+        complete(controller, instance, decision)
+        # The thread count doubles persistently: resample.
+        decision = controller.choose_mode(make_instance(11), 0, 2, 0.0)
+        assert controller.stats.resample_reasons[ResampleReason.THREAD_COUNT_CHANGE] == 1
+        assert decision.is_warmup  # worker 0: short re-warm-up
+        complete(controller, make_instance(11), decision, active=2)
+        follow_up = controller.choose_mode(make_instance(12), 0, 2, 0.0)
+        assert not follow_up.is_warmup
+        # The worker that joined with the increase warms with the full W.
+        warmups = []
+        for index in range(3):
+            instance = make_instance(20 + index)
+            decision = controller.choose_mode(instance, worker_id=1,
+                                              active_workers=2,
+                                              current_cycle=float(index))
+            warmups.append(decision.is_warmup)
+            complete(controller, instance, decision, worker_id=1, active=2)
+        assert warmups == [True, True, False]
+
+
+class TestTriggerOrdering:
+    """Satellite: resample triggers fire in the paper's priority order."""
+
+    def _fast_forwarding_controller(self, **overrides):
+        defaults = dict(warmup_instances=0, history_size=1, sampling_period=None)
+        defaults.update(overrides)
+        controller = TaskPointController(TaskPointConfig(**defaults))
+        drive_single_thread(controller, 1)
+        instance = make_instance(100)
+        decision = controller.choose_mode(instance, 0, 1, 0.0)
+        assert decision.mode is SimulationMode.BURST
+        complete(controller, instance, decision)
+        return controller
+
+    def test_new_task_type_beats_thread_count_change(self):
+        controller = self._fast_forwarding_controller(
+            thread_change_tolerance=0.5, thread_change_persistence=1
+        )
+        # Both triggers hold: unseen type AND an 8x thread-count change.
+        decision = controller.choose_mode(make_instance(200, "brand-new"),
+                                          worker_id=0, active_workers=8,
+                                          current_cycle=0.0)
+        assert decision.mode is SimulationMode.DETAILED
+        reasons = controller.stats.resample_reasons
+        assert reasons[ResampleReason.NEW_TASK_TYPE] == 1
+        assert reasons[ResampleReason.THREAD_COUNT_CHANGE] == 0
+        assert controller.stats.resamples == 1
+
+    def test_thread_count_change_beats_period_elapsed(self):
+        controller = self._fast_forwarding_controller(
+            sampling_period=1, thread_change_tolerance=0.5,
+            thread_change_persistence=1,
+        )
+        # Worker 0 already fast-forwarded one instance, so the periodic
+        # policy would fire too; the thread-count trigger has priority.
+        decision = controller.choose_mode(make_instance(201), worker_id=0,
+                                          active_workers=8, current_cycle=0.0)
+        assert decision.mode is SimulationMode.DETAILED
+        reasons = controller.stats.resample_reasons
+        assert reasons[ResampleReason.THREAD_COUNT_CHANGE] == 1
+        assert reasons[ResampleReason.PERIOD_ELAPSED] == 0
+        assert controller.stats.resamples == 1
+
+    def test_all_three_triggers_resolve_to_new_task_type(self):
+        controller = self._fast_forwarding_controller(
+            sampling_period=1, thread_change_tolerance=0.5,
+            thread_change_persistence=1,
+        )
+        decision = controller.choose_mode(make_instance(202, "brand-new"),
+                                          worker_id=0, active_workers=8,
+                                          current_cycle=0.0)
+        assert decision.mode is SimulationMode.DETAILED
+        reasons = controller.stats.resample_reasons
+        assert reasons[ResampleReason.NEW_TASK_TYPE] == 1
+        assert reasons[ResampleReason.THREAD_COUNT_CHANGE] == 0
+        assert reasons[ResampleReason.PERIOD_ELAPSED] == 0
+
+
+class RecordingPolicy:
+    """Sampling policy stub that records every dispersion observation."""
+
+    name = "recording"
+
+    def __init__(self):
+        self.observed = []
+
+    def should_resample(self, worker_fast_forwarded):
+        return False
+
+    def observe_dispersion(self, coefficient_of_variation):
+        self.observed.append(coefficient_of_variation)
+
+    def reset(self):
+        pass
+
+
+class TestDispersionFeed:
+    """Satellite: ``observe_dispersion`` is fed only from valid samples."""
+
+    def test_warmup_completions_do_not_feed_policy(self):
+        policy = RecordingPolicy()
+        config = TaskPointConfig(warmup_instances=2, history_size=4,
+                                 sampling_period=None)
+        controller = TaskPointController(config, policy=policy)
+        drive_single_thread(controller, 2)  # both are warm-up completions
+        assert controller.stats.warmup_instances == 2
+        assert policy.observed == []
+
+    def test_valid_samples_feed_policy_once_dispersion_defined(self):
+        policy = RecordingPolicy()
+        config = TaskPointConfig(warmup_instances=0, history_size=4,
+                                 sampling_period=None)
+        controller = TaskPointController(config, policy=policy)
+        for index, ipc in enumerate((2.0, 3.0, 4.0)):
+            instance = make_instance(index)
+            decision = controller.choose_mode(instance, 0, 1, float(index))
+            complete(controller, instance, decision, ipc=ipc)
+        # Dispersion is undefined for a single sample: the policy sees one
+        # observation per valid sample from the second one on.
+        assert len(policy.observed) == 2
+        assert all(value > 0 for value in policy.observed)
+
+    def test_invalid_samples_do_not_feed_policy(self):
+        policy = RecordingPolicy()
+        config = TaskPointConfig(warmup_instances=0, history_size=2,
+                                 sampling_period=None)
+        controller = TaskPointController(config, policy=policy)
+        # Take a detailed decision but leave it in flight...
+        inflight = make_instance(0)
+        inflight_decision = controller.choose_mode(inflight, 1, 2, 0.0)
+        assert inflight_decision.mode is SimulationMode.DETAILED
+        # ...fill the history on worker 0 and transition to fast-forward...
+        for index, ipc in enumerate((2.0, 3.0)):
+            instance = make_instance(1 + index)
+            decision = controller.choose_mode(instance, 0, 2, float(index))
+            complete(controller, instance, decision, ipc=ipc, active=2)
+        burst = controller.choose_mode(make_instance(10), 0, 2, 10.0)
+        assert burst.mode is SimulationMode.BURST
+        observed_before = len(policy.observed)
+        # ...then the in-flight instance completes: invalid sample, no feed.
+        complete(controller, inflight, inflight_decision, ipc=9.0,
+                 worker_id=1, active=2)
+        assert controller.stats.invalid_samples == 1
+        assert len(policy.observed) == observed_before
+
+
 class TestStatistics:
     def test_counters_consistent(self):
         config = TaskPointConfig(warmup_instances=1, history_size=2, sampling_period=None)
