@@ -11,7 +11,15 @@ The CLI exposes the most common workflows without writing any Python:
   counts) through the experiment orchestrator,
 * ``python -m repro sweep {W,H,P}`` — a Figure 6 parameter sensitivity sweep,
 * ``python -m repro variation <benchmark>`` — per-task-type IPC variation
-  (the Figure 1 / Figure 5 analysis) of one benchmark.
+  (the Figure 1 / Figure 5 analysis) of one benchmark,
+* ``python -m repro serve --listen HOST:PORT`` — the persistent simulation
+  service daemon (:mod:`repro.serve`): a long-lived worker pool behind a
+  submit/poll/watch API with multi-tenant fair-share queues, a journalled
+  restart-recovery path and a serving-grade result store,
+* ``python -m repro submit/status/watch/cancel --connect HOST:PORT`` — the
+  matching client commands (``submit`` builds the same spec grids as
+  ``repro grid``, so a served run's store stays byte-identical to a serial
+  one).
 
 The experiment-driven commands (``compare``, ``grid``, ``sweep``) accept
 ``--jobs N`` to shard their experiments over an N-process pool,
@@ -37,13 +45,16 @@ outside the profile, so the dump shows where simulation time actually goes.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import contextlib
 import cProfile
+import json
 import os
+import signal
 import sys
 from typing import List, Optional, Sequence
 
-from repro.analysis.accuracy import evaluate_grid
+from repro.analysis.accuracy import evaluate_grid, grid_specs
 from repro.analysis.reporting import format_table, render_accuracy_table
 from repro.analysis.sweep import history_sweep, period_sweep, warmup_sweep
 from repro.analysis.variation import ipc_variation
@@ -54,6 +65,8 @@ from repro.core.fidelity import FidelityConfig
 from repro.core.stratified import StratifiedConfig
 from repro.exp import (
     BACKEND_NAMES,
+    CACHE_DIR_ENV,
+    LAYOUT_NAMES,
     ExperimentExecutionError,
     ExperimentSpec,
     ResultStore,
@@ -61,6 +74,8 @@ from repro.exp import (
     make_named_backend,
     run_experiments,
 )
+from repro.exp.hosts import parse_listen
+from repro.serve import ServiceClient, ServiceError, SimulationService
 from repro.sim.simulator import simulate
 from repro.workloads.registry import SENSITIVITY_SUBSET, get_workload, list_workloads
 
@@ -392,6 +407,115 @@ def build_parser() -> argparse.ArgumentParser:
 
     var = subparsers.add_parser("variation", help="per-task-type IPC variation")
     _add_common_arguments(var)
+
+    serve = subparsers.add_parser(
+        "serve", help="persistent simulation service daemon (submit/poll/watch API)"
+    )
+    serve.add_argument("--listen", default="127.0.0.1:0",
+                       help="client API bind address, PORT or HOST:PORT "
+                            "(default: an ephemeral loopback port, printed "
+                            "on startup)")
+    serve.add_argument("--workers", type=_bounded_int("--workers", 1), default=2,
+                       help="local worker subprocesses (ignored with --hosts; "
+                            "default 2)")
+    serve.add_argument("--hosts", default=None,
+                       help="multi-host worker budgets, e.g. 'host1:4,host2:8' "
+                            "(switches the pool to the multihost backend)")
+    serve.add_argument("--worker-listen", default=None,
+                       help="bind address of the multihost connect-back "
+                            "worker listener, PORT or HOST:PORT (distinct "
+                            "from --listen, which serves clients)")
+    serve.add_argument("--connect-host", default=None,
+                       help="address remote workers dial back to")
+    serve.add_argument("--batch", default=None,
+                       help="specs per dispatch frame: N, 'adaptive' or "
+                            "'adaptive:N'")
+    serve.add_argument("--cache-dir", default=None,
+                       help="result store directory — enables warm serving, "
+                            "write-ahead durability and restart recovery "
+                            "(default: $REPRO_CACHE_DIR if set)")
+    serve.add_argument("--store-layout", choices=list(LAYOUT_NAMES),
+                       default="directory",
+                       help="store on-disk layout: sharded 'directory' "
+                            "(default) or lock-free 'object' (object-store "
+                            "keyspace)")
+    serve.add_argument("--store-max-bytes",
+                       type=_bounded_int("--store-max-bytes", 1), default=None,
+                       help="LRU byte budget of the store; compaction evicts "
+                            "cold entries past it (in-flight and failure "
+                            "entries are never evicted)")
+    serve.add_argument("--fair-cap", type=_bounded_int("--fair-cap", 1),
+                       default=None,
+                       help="default per-tenant in-flight cap (default: "
+                            "uncapped)")
+    serve.add_argument("--tenant", action="append", default=None,
+                       metavar="NAME:WEIGHT[:CAP]",
+                       help="configure one tenant's fair-share weight and "
+                            "optional in-flight cap (repeatable)")
+    serve.add_argument("--no-journal", action="store_true",
+                       help="disable the job journal (no restart recovery)")
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a spec grid to a running 'repro serve' daemon"
+    )
+    submit.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="daemon address (the --listen of 'repro serve')")
+    submit.add_argument("--benchmarks", default="all",
+                        help="comma-separated benchmark names, or 'all' (default)")
+    submit.add_argument("--threads", default="8,16,32,64",
+                        help="comma-separated simulated thread counts")
+    submit.add_argument("--scale", type=float, default=0.05,
+                        help="workload scale relative to Table I (default 0.05)")
+    submit.add_argument("--seed", type=int, default=1, help="trace-generation seed")
+    submit.add_argument("--architecture",
+                        choices=["high-performance", "low-power"],
+                        default="high-performance")
+    _add_taskpoint_arguments(submit)
+    _add_mode_alias(submit)
+    submit.add_argument("--tenant", default="default",
+                        help="tenant id for fair-share scheduling "
+                             "(default: 'default')")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="within-tenant priority (higher runs sooner, "
+                             "aged so lower priorities are never starved)")
+    submit.add_argument("--no-baselines", action="store_true",
+                        help="submit only the sampled specs, without their "
+                             "detailed baselines (the default matches "
+                             "'repro grid', which runs both)")
+    submit.add_argument("--watch", action="store_true",
+                        help="stay attached and stream progress until the "
+                             "job finishes")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="socket timeout per connection/frame in seconds")
+
+    status = subparsers.add_parser(
+        "status", help="query a job (or the whole daemon) by id"
+    )
+    status.add_argument("job", nargs="?", default=None,
+                        help="job id (omit to list every job)")
+    status.add_argument("--connect", required=True, metavar="HOST:PORT")
+    status.add_argument("--stats", action="store_true",
+                        help="print the daemon's stats_report (queue depths, "
+                             "store hit/miss/eviction counters, dispatch "
+                             "stats) as JSON")
+    status.add_argument("--timeout", type=float, default=60.0,
+                        help="socket timeout in seconds")
+
+    watch = subparsers.add_parser(
+        "watch", help="stream a job's progress until it finishes"
+    )
+    watch.add_argument("job", help="job id (from 'repro submit')")
+    watch.add_argument("--connect", required=True, metavar="HOST:PORT")
+    watch.add_argument("--timeout", type=float, default=600.0,
+                       help="socket timeout per frame in seconds")
+
+    cancel = subparsers.add_parser(
+        "cancel", help="cancel a job's pending specs (running specs finish)"
+    )
+    cancel.add_argument("job", help="job id")
+    cancel.add_argument("--connect", required=True, metavar="HOST:PORT")
+    cancel.add_argument("--timeout", type=float, default=60.0,
+                        help="socket timeout in seconds")
     return parser
 
 
@@ -589,11 +713,172 @@ def _command_variation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_connect(raw: str) -> "tuple[str, int]":
+    host, sep, port = raw.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"--connect expects HOST:PORT, got {raw!r}")
+    return host, int(port)
+
+
+def _parse_tenant_configs(raw_list: Optional[List[str]]):
+    tenants = {}
+    for raw in raw_list or []:
+        parts = raw.split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"invalid --tenant {raw!r} (expected NAME:WEIGHT[:CAP])"
+            )
+        weight = float(parts[1])
+        cap = int(parts[2]) if len(parts) == 3 else None
+        tenants[parts[0]] = (weight, cap)
+    return tenants
+
+
+async def _serve_async(args: argparse.Namespace) -> int:
+    host, port = parse_listen(args.listen)
+    tenants = _parse_tenant_configs(args.tenant)
+    cache_dir = args.cache_dir or os.environ.get(CACHE_DIR_ENV)
+    store = (
+        ResultStore(
+            cache_dir, layout=args.store_layout, max_bytes=args.store_max_bytes
+        )
+        if cache_dir
+        else None
+    )
+    backend = make_named_backend(
+        "multihost" if args.hosts else "async",
+        workers=args.workers, store=None,
+        hosts=args.hosts, listen=args.worker_listen,
+        connect_host=args.connect_host, batch=args.batch,
+    )
+    service = SimulationService(
+        backend,
+        store=store,
+        default_cap=args.fair_cap,
+        journal=not args.no_journal,
+    )
+    for name, (weight, cap) in tenants.items():
+        service.configure_tenant(name, weight=weight, cap=cap)
+    # Handlers go in before the "listening" banner: anyone who has seen the
+    # banner may signal us, and the default SIGTERM action would skip the
+    # graceful (journal-preserving) shutdown path.
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(ValueError, NotImplementedError, RuntimeError):
+            loop.add_signal_handler(signum, service.request_stop)
+    await service.start(host, port)
+    pool = args.hosts if args.hosts else f"{args.workers} local workers"
+    print(
+        f"repro serve: listening on {service.host}:{service.port} "
+        f"({pool}, store={cache_dir or 'none'})",
+        flush=True,
+    )
+    await service.serve_until_stopped()
+    print("repro serve: stopped", flush=True)
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    return asyncio.run(_serve_async(args))
+
+
+def _submit_specs(args: argparse.Namespace) -> List[ExperimentSpec]:
+    """The same specs a ``repro grid`` with these flags would execute."""
+    specs = grid_specs(
+        _benchmark_list(args.benchmarks),
+        _int_list(args.threads),
+        architecture=_architecture(args.architecture),
+        config=_sampling_config(args),
+        scale=args.scale,
+        seed=args.seed,
+    )
+    if not args.no_baselines:
+        specs = [s for spec in specs for s in (spec, spec.baseline())]
+    return specs
+
+
+def _watch_to_completion(client: ServiceClient, job_id: str) -> int:
+    def on_update(frame) -> None:
+        if frame.get("type") == "job_update":
+            cached = " (cached)" if frame.get("cached") else ""
+            print(
+                f"  [{frame['seq']}] unit {frame['unit']} "
+                f"{frame['state']}{cached}",
+                flush=True,
+            )
+
+    done = client.watch(job_id, on_update=on_update)
+    print(f"status : {done['status']}")
+    print(f"digest : {done['digest']}")
+    for failure in done.get("failures", []):
+        error = failure.get("error") or {}
+        print(
+            f"failed : {failure['key']} "
+            f"{error.get('error_type')}: {error.get('message')}",
+            file=sys.stderr,
+        )
+    return 0 if done["status"] == "done" else 2
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    host, port = _parse_connect(args.connect)
+    client = ServiceClient(host, port, timeout=args.timeout)
+    reply = client.submit(
+        _submit_specs(args), tenant=args.tenant, priority=args.priority
+    )
+    print(f"job    : {reply['job']}")
+    print(f"specs  : {reply['total']} ({reply['cached']} cached)")
+    if reply.get("attached"):
+        print("attached to an already-submitted identical job")
+    if args.watch:
+        return _watch_to_completion(client, reply["job"])
+    return 0
+
+
+def _command_status(args: argparse.Namespace) -> int:
+    host, port = _parse_connect(args.connect)
+    client = ServiceClient(host, port, timeout=args.timeout)
+    if args.stats:
+        print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        return 0
+    if args.job is None:
+        reply = client.status()
+        rows = [
+            [job["job"], job["tenant"], job["status"],
+             f"{job['counts']['done']}/{job['total']}", job["cached"]]
+            for job in reply["jobs"]
+        ]
+        print(format_table(["job", "tenant", "status", "done", "cached"], rows))
+        return 0
+    job = client.status(args.job)
+    for key in ("job", "tenant", "priority", "status", "total", "cached"):
+        print(f"{key:8s}: {job[key]}")
+    counts = job["counts"]
+    print(f"{'units':8s}: " + ", ".join(
+        f"{state}={counts[state]}" for state in sorted(counts)
+    ))
+    return 0
+
+
+def _command_watch(args: argparse.Namespace) -> int:
+    host, port = _parse_connect(args.connect)
+    client = ServiceClient(host, port, timeout=args.timeout)
+    return _watch_to_completion(client, args.job)
+
+
+def _command_cancel(args: argparse.Namespace) -> int:
+    host, port = _parse_connect(args.connect)
+    client = ServiceClient(host, port, timeout=args.timeout)
+    reply = client.cancel(args.job)
+    print(f"cancelled {reply['cancelled']} pending spec(s) of job {args.job}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command in ("simulate", "compare", "grid"):
+    if args.command in ("simulate", "compare", "grid", "submit"):
         _resolve_sampling_args(parser, args)
     try:
         if args.command == "list":
@@ -608,7 +893,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _command_sweep(args)
         if args.command == "variation":
             return _command_variation(args)
-    except (KeyError, ValueError, ExperimentExecutionError) as error:
+        if args.command == "serve":
+            return _command_serve(args)
+        if args.command == "submit":
+            return _command_submit(args)
+        if args.command == "status":
+            return _command_status(args)
+        if args.command == "watch":
+            return _command_watch(args)
+        if args.command == "cancel":
+            return _command_cancel(args)
+    except (KeyError, ValueError, ExperimentExecutionError, ServiceError,
+            ConnectionError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except KeyboardInterrupt:

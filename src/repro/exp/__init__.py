@@ -28,7 +28,9 @@ describes, schedules, executes and caches those experiments:
   zlib frame compression for high-latency links,
 * :mod:`repro.exp.store` — the persistent on-disk :class:`ResultStore`
   (content-hash keyed, shard-per-key-prefix, advisory file locking for
-  concurrent multi-process writers) and its in-memory sibling.
+  concurrent multi-process writers; pluggable directory/object-store
+  layouts, size-bounded LRU compaction with pinning and hit/miss/eviction
+  counters for the service daemon) and its in-memory sibling.
 
 Typical use::
 
@@ -73,9 +75,13 @@ from repro.exp.runner import get_trace, run_spec
 from repro.exp.spec import ExperimentFailure, ExperimentResult, ExperimentSpec
 from repro.exp.store import (
     CACHE_DIR_ENV,
+    LAYOUT_NAMES,
+    DirectoryLayout,
     MemoryResultStore,
+    ObjectStoreLayout,
     ResultStore,
     default_store,
+    make_layout,
 )
 
 __all__ = [
@@ -102,6 +108,10 @@ __all__ = [
     "get_trace",
     "ResultStore",
     "MemoryResultStore",
+    "DirectoryLayout",
+    "ObjectStoreLayout",
+    "LAYOUT_NAMES",
+    "make_layout",
     "default_store",
     "CACHE_DIR_ENV",
 ]

@@ -433,6 +433,11 @@ class AsyncWorkerBackend:
         self._workers: List[_Worker] = []
         self._sizer: Optional[AdaptiveBatchSizer] = None
         self._live_slots = 0
+        #: Service mode (the persistent daemon): slots never give up — a
+        #: crash-looping slot backs off and retries instead of retiring,
+        #: because an idle service must recover when the machine heals.
+        self._service_mode = False
+        self._service_tasks: List["asyncio.Task"] = []
 
     # ------------------------------------------------------------------
     def active_pids(self) -> List[int]:
@@ -441,6 +446,11 @@ class AsyncWorkerBackend:
 
     def run_outcomes(self, specs: Sequence[ExperimentSpec]) -> List[Outcome]:
         """Per-spec outcomes; worker deaths and raising specs do not stall."""
+        if self._service_mode:
+            raise RuntimeError(
+                "backend is running as a persistent service; "
+                "submit jobs through its queue instead of run_outcomes()"
+            )
         if not specs:
             return []
 
@@ -768,7 +778,14 @@ class AsyncWorkerBackend:
                     if self._record_host_death(host):
                         return
                     if consecutive_deaths > self.spawn_retries:
-                        return
+                        if not self._service_mode:
+                            return
+                        # A service slot never retires on spawn failures: it
+                        # backs off (bounded) and keeps trying, so the pool
+                        # heals itself when the machine does.
+                        self._count("slot_backoffs")
+                        await asyncio.sleep(self._backoff_delay(consecutive_deaths))
+                        continue
                     await asyncio.sleep(0.05 * consecutive_deaths)
                     continue
             try:
@@ -819,7 +836,13 @@ class AsyncWorkerBackend:
             if self._record_host_death(host):
                 return
             if consecutive_deaths > self.spawn_retries:
-                return  # crash-looping; let the remaining slots (if any) work
+                if not self._service_mode:
+                    return  # crash-looping; let the remaining slots (if any) work
+                # Service mode: back off instead of retiring — queued work
+                # must eventually run once workers stop dying, and retry
+                # budgets above already bound how often one spec recycles.
+                self._count("slot_backoffs")
+                await asyncio.sleep(self._backoff_delay(consecutive_deaths))
 
     def _record_host_death(self, host) -> bool:
         """Feed one worker death into ``host``; True when the slot must retire."""
@@ -828,6 +851,90 @@ class AsyncWorkerBackend:
         if host.record_death():
             self._count("hosts_quarantined")
         return host.quarantined
+
+    def _backoff_delay(self, consecutive_deaths: int) -> float:
+        """Service-mode retry delay once a slot exceeds its spawn budget.
+
+        Doubles from 0.5 s and saturates at 30 s: fast enough that a healed
+        machine resumes promptly, slow enough that a broken interpreter does
+        not fork-bomb the host while the daemon idles.
+        """
+        over = max(0, consecutive_deaths - self.spawn_retries - 1)
+        return min(30.0, 0.5 * (2 ** min(over, 6)))
+
+    def absolve_stall(self, started: float, ended: float) -> None:
+        """Forgive a supervisor-side event-loop stall of ``ended - started``.
+
+        A synchronous call on the event loop (a shard-locked store write on
+        a slow filesystem, say) freezes frame reading: no pongs or hellos
+        arrive while it runs.  When the stall exceeded half a heartbeat
+        interval, restart every worker's staleness and startup clock so
+        healthy workers are not killed for the supervisor's own pause.  Used
+        by the streaming ``finish`` here and by the service daemon's.
+        """
+        if ended - started > self.heartbeat_interval / 2:
+            for other in self._workers:
+                other.last_seen = max(other.last_seen, ended)
+                other.spawned_at = max(other.spawned_at, ended)
+
+    # ------------------------------------------------------------------
+    # Service mode: a persistent daemon (repro.serve) runs the pool against
+    # an external queue forever instead of supervising one finite spec list.
+    # ------------------------------------------------------------------
+    async def start_service(
+        self,
+        queue,
+        finish: Callable[[_Job, Outcome], None],
+    ) -> None:
+        """Start the worker slots against an external (long-lived) queue.
+
+        ``queue`` must offer the ``asyncio.Queue`` surface the dispatch
+        loops consume (``get``/``get_nowait``/``put_nowait``/``qsize``) —
+        the service's fair-share queue does.  ``finish(job, outcome)`` is
+        called exactly once per completed job, on the event loop.  Slots
+        run until :meth:`stop_service`; in service mode they back off on
+        crash-loops instead of giving up, and ``run_outcomes`` is refused
+        while the service owns the pool.
+        """
+        if self._service_tasks:
+            raise RuntimeError("service already started")
+        self._service_mode = True
+        self.stats = {}
+        self._workers = []
+        self._pids = set()
+        self._sizer = (
+            AdaptiveBatchSizer(self.batch_cap) if self.batch_adaptive else None
+        )
+        await self._startup()
+        coroutines = self._slot_coroutines(queue, finish, self.num_workers)
+        self._service_tasks = [
+            asyncio.ensure_future(coroutine) for coroutine in coroutines
+        ]
+        self._live_slots = len(self._service_tasks)
+
+    async def stop_service(self) -> None:
+        """Stop the slots, reap every worker and release the transport."""
+        tasks, self._service_tasks = self._service_tasks, []
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            try:
+                await task
+            except BaseException:
+                pass
+        try:
+            await self._shutdown_workers()
+            await self._teardown()
+        finally:
+            self._service_mode = False
+
+    def dispatch_snapshot(self) -> Dict[str, object]:
+        """Live dispatch counters for the service's ``stats`` frame."""
+        return {
+            "live_workers": len(self._workers),
+            "live_slots": self._live_slots,
+            "counters": dict(self.stats),
+        }
 
     # ------------------------------------------------------------------
     async def _startup(self) -> None:
@@ -927,16 +1034,10 @@ class AsyncWorkerBackend:
                         f"repro.exp.distributed: store write failed: {exc}",
                         file=sys.stderr,
                     )
-                write_ended = loop.time()
-                if write_ended - write_started > self.heartbeat_interval / 2:
-                    # The synchronous write (shard flock on a contended or
-                    # slow filesystem) froze the event loop: no pongs or
-                    # hellos could be read meanwhile, so restart every
-                    # staleness and startup clock rather than punish healthy
-                    # workers for our stall.
-                    for other in self._workers:
-                        other.last_seen = max(other.last_seen, write_ended)
-                        other.spawned_at = max(other.spawned_at, write_ended)
+                # The synchronous write (shard flock on a contended or slow
+                # filesystem) freezes the event loop; forgive the stall so
+                # healthy workers are not heartbeat-killed for it.
+                self.absolve_stall(write_started, loop.time())
             if remaining == 0:
                 done.set()
 

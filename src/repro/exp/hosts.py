@@ -477,6 +477,24 @@ class MultiHostBackend(AsyncWorkerBackend):
             for host in self._hosts
         }
 
+    def host_snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Live per-host health accounting (the service's ``stats`` frame).
+
+        ``host_stats`` is only written at :meth:`_teardown`, which a
+        persistent service never reaches while serving; this reads the same
+        numbers from the live :class:`HostState` objects instead.
+        """
+        return {
+            host.name: {
+                "budget": host.budget,
+                "spawns": host.spawns,
+                "completed": host.completed,
+                "consecutive_deaths": host.consecutive_deaths,
+                "quarantined": host.quarantined,
+            }
+            for host in self._hosts
+        }
+
     def _slot_coroutines(
         self,
         queue: "asyncio.Queue[_Job]",

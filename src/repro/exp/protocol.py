@@ -64,6 +64,60 @@ Worker to supervisor:
 * ``{"type": "error", "job": <int>, "error": <ExperimentFailure.to_dict()>}``
   — the spec raised; the worker stays alive and takes the next job.
 * ``{"type": "pong", "seq": <int>}``
+
+Service frames (protocol version 4)
+-----------------------------------
+The same framing carries the client API of the persistent simulation
+service (:mod:`repro.serve`).  These frames flow between a *client* (the
+``repro submit``/``status``/``watch``/``cancel`` subcommands, or
+:class:`repro.serve.ServiceClient`) and the *daemon* (``repro serve``) —
+never to workers, whose vocabulary above is unchanged; version 4 is
+therefore wire-compatible with version-3 workers.
+
+Client to daemon:
+
+* ``{"type": "submit", "tenant": <str>, "specs": [<ExperimentSpec.to_dict()>,
+  ...][, "priority": <int>]}`` — enqueue a job (a batch of specs) under a
+  tenant's fair-share queue; answered by one ``submitted`` frame.
+  Submitting a spec set whose job id is already active re-attaches to the
+  running job instead of duplicating it.
+* ``{"type": "status"[, "job": <str>]}`` — answered by ``job_status`` (or
+  ``error_reply`` for an unknown id); without ``job``, by ``service_status``
+  listing all known jobs.
+* ``{"type": "watch", "job": <str>}`` — subscribe to a job's progress; the
+  daemon streams ``job_update`` frames and finishes with ``job_done``.
+* ``{"type": "cancel", "job": <str>}`` — cancel a job's queued specs
+  (running specs finish and their results are kept); answered by
+  ``cancel_ack``.
+* ``{"type": "stats"}`` — answered by ``stats_report``.
+* ``{"type": "stop"}`` — gracefully shut the daemon down (drains nothing:
+  queued work stays journalled for the next start); answered by
+  ``stopping``.
+
+Daemon to client:
+
+* ``{"type": "submitted", "job": <str>, "total": <int>, "cached": <int>,
+  "attached": <bool>}`` — job accepted; ``cached`` specs were served from
+  the store without executing, ``attached`` marks a re-attach to an
+  already-active identical job.
+* ``{"type": "job_status", ...}`` — one job's snapshot: per-state unit
+  counts, terminal flag and overall status.
+* ``{"type": "service_status", "jobs": [...]}`` — snapshots of all jobs.
+* ``{"type": "job_update", "job": <str>, "seq": <int>, "key": <str>,
+  "state": <str>, "cached": <bool>, ...}`` — one spec of a watched job
+  reached a terminal state; ``seq`` is the daemon-wide completion sequence
+  number (it totally orders completions across tenants).
+* ``{"type": "job_done", "job": <str>, "status": <str>, "digest": <str>,
+  "results": [...], "failures": [...]}`` — final watch frame; ``digest`` is
+  the SHA-256 over the sorted normalised result payloads, byte-comparable
+  with a serial run's store.
+* ``{"type": "cancel_ack", "job": <str>, "cancelled": <int>}``
+* ``{"type": "stats_report", "queue": {...}, "store": {...}, ...}`` —
+  fair-share queue depths per tenant, store hit/miss/eviction counters,
+  worker/host dispatch stats and daemon uptime.
+* ``{"type": "error_reply", "error": <str>}`` — the request was malformed
+  or referenced an unknown job; the connection stays usable.
+* ``{"type": "stopping"}``
 """
 
 from __future__ import annotations
@@ -79,8 +133,11 @@ from typing import BinaryIO, Dict, Optional
 #: backward compatible: uncompressed frames are unchanged on the wire).
 #: Version 3 added the ``run_batch`` frame and the ``batch`` hello
 #: capability (backward compatible: the frame is only sent to workers that
-#: advertised it).
-PROTOCOL_VERSION = 3
+#: advertised it).  Version 4 added the client/daemon service vocabulary
+#: (``submit``/``status``/``watch``/``cancel``/``stats`` and their answers)
+#: for :mod:`repro.serve`; the supervisor/worker vocabulary is untouched, so
+#: version-3 workers interoperate unchanged.
+PROTOCOL_VERSION = 4
 
 #: Upper bound on a single frame payload (compressed or decompressed); a
 #: frame header exceeding it means the stream is desynchronised (or hostile)

@@ -1,0 +1,311 @@
+"""Multi-tenant fair-share job queue for the simulation service.
+
+The dispatch slots of :class:`~repro.exp.distributed.AsyncWorkerBackend`
+consume an ``asyncio.Queue`` surface — ``await get()``, ``get_nowait()``,
+``put_nowait()``, ``qsize()`` — and PR 5's drain-cap batching is built on
+exactly those calls.  :class:`FairShareQueue` implements that surface over a
+*per-tenant* queue structure, so the whole dispatch substrate (batched
+frames, per-spec acks, death requeues) runs unchanged while scheduling
+becomes multi-tenant:
+
+* **Weighted fair sharing between tenants** — virtual-time weighted fair
+  queueing.  Every pop charges the chosen tenant ``1/weight`` of virtual
+  time and the next pop goes to the eligible tenant with the least virtual
+  time (ties broken by name, so scheduling is deterministic).  A tenant
+  that was idle re-enters at the current global virtual time — it gets its
+  fair share from now on, not a catch-up burst for the time it was absent.
+* **Per-tenant in-flight caps** — a tenant at its cap is ineligible until a
+  completion (:meth:`task_done`) frees a unit, bounding how much of the
+  worker pool one tenant can occupy regardless of queue depths.
+* **Starvation-free priority aging within a tenant** — each queued job is
+  keyed by ``enqueue_tick - priority * aging_ticks``: higher priority wins
+  now, but every pop ages the backlog, so a low-priority job's key is
+  eventually the smallest no matter what keeps arriving above it.
+
+Requeue safety
+--------------
+The dispatch slots requeue a dead worker's unacknowledged jobs with
+``put_nowait`` — the same call that accepts fresh submissions.  The queue
+tells the two apart by job identity: a requeued job re-enters its tenant's
+heap with its *original* age key (it does not lose its place for having
+been the victim), and its in-flight accounting is released.  A job
+cancelled while it was in flight is **dropped** on requeue instead of
+re-entering — this is what makes cancellation safe against the per-spec ack
+protocol: acknowledged specs keep their results, unacknowledged cancelled
+specs never run again.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.exp.distributed import _Job
+from repro.exp.spec import ExperimentSpec
+
+#: Pops per priority step: a job of priority ``p`` sorts as if it had been
+#: queued ``p * AGING_TICKS`` pops earlier.  Finite, so age always wins
+#: eventually (starvation freedom); large enough that priority matters.
+AGING_TICKS = 64
+
+
+class ServiceJob(_Job):
+    """A queue unit: one spec of one tenant's job, with scheduling state."""
+
+    __slots__ = ("tenant", "priority", "age_key", "seq")
+
+    def __init__(
+        self,
+        index: int,
+        spec: ExperimentSpec,
+        key: str,
+        tenant: str,
+        priority: int = 0,
+    ) -> None:
+        super().__init__(index, spec, key)
+        self.tenant = tenant
+        self.priority = priority
+        self.age_key = 0.0  # assigned at first enqueue, stable across requeues
+        self.seq = 0  # FIFO tie-break within equal age keys
+
+
+class _TenantState:
+    __slots__ = (
+        "name", "weight", "cap", "heap", "in_flight",
+        "vtime", "submitted", "served", "completed",
+    )
+
+    def __init__(self, name: str, weight: float, cap: Optional[int]) -> None:
+        self.name = name
+        self.weight = weight
+        self.cap = cap
+        self.heap: List["tuple[float, int, ServiceJob]"] = []
+        self.in_flight = 0
+        self.vtime = 0.0
+        self.submitted = 0
+        self.served = 0
+        self.completed = 0
+
+    def eligible(self) -> bool:
+        if not self.heap:
+            return False
+        return self.cap is None or self.in_flight < self.cap
+
+
+class FairShareQueue:
+    """Weighted fair-share multi-tenant queue, asyncio.Queue-compatible.
+
+    Parameters
+    ----------
+    default_weight:
+        Fair-share weight of tenants not explicitly configured; a weight-2
+        tenant receives twice the pops of a weight-1 tenant under backlog.
+    default_cap:
+        Per-tenant in-flight cap (``None`` = uncapped): a tenant with this
+        many units dispatched-but-unfinished is passed over until
+        :meth:`task_done` frees one.
+    aging_ticks:
+        Pops per priority step of the within-tenant aging key.
+    on_drop:
+        Called with each cancelled job that a dispatch slot tried to
+        requeue (worker died before acknowledging it); the job does not
+        re-enter the queue.
+    """
+
+    def __init__(
+        self,
+        *,
+        default_weight: float = 1.0,
+        default_cap: Optional[int] = None,
+        aging_ticks: int = AGING_TICKS,
+        on_drop: Optional[Callable[[ServiceJob], None]] = None,
+    ) -> None:
+        if default_weight <= 0:
+            raise ValueError("default_weight must be positive")
+        if default_cap is not None and default_cap < 1:
+            raise ValueError("default_cap must be >= 1")
+        if aging_ticks < 1:
+            raise ValueError("aging_ticks must be >= 1")
+        self.default_weight = default_weight
+        self.default_cap = default_cap
+        self.aging_ticks = aging_ticks
+        self.on_drop = on_drop
+        self._tenants: Dict[str, _TenantState] = {}
+        self._virtual = 0.0  # global virtual time (max charged so far)
+        self._pops = 0  # age clock: total pops ever
+        self._seq = itertools.count()  # FIFO tie-break counter
+        self._in_flight: Set[int] = set()  # job indices popped, unfinished
+        self._cancelled: Set[int] = set()  # cancelled while in flight
+        self.dropped = 0  # cancelled jobs dropped at requeue
+        #: Lazily created so the queue may be built outside a running loop
+        #: (Python 3.9 binds an Event to the loop at construction).
+        self._wakeup: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    def configure_tenant(
+        self,
+        name: str,
+        *,
+        weight: Optional[float] = None,
+        cap: Optional[int] = None,
+    ) -> None:
+        """Set a tenant's fair-share weight and/or in-flight cap."""
+        if weight is not None and weight <= 0:
+            raise ValueError("tenant weight must be positive")
+        if cap is not None and cap < 1:
+            raise ValueError("tenant cap must be >= 1")
+        state = self._tenant(name)
+        if weight is not None:
+            state.weight = weight
+        if cap is not None:
+            state.cap = cap
+        self._wake()
+
+    def _tenant(self, name: str) -> _TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            state = _TenantState(name, self.default_weight, self.default_cap)
+            self._tenants[name] = state
+        return state
+
+    def _wake(self) -> None:
+        if self._wakeup is not None:
+            self._wakeup.set()
+
+    # ------------------------------------------------------------------
+    def submit(self, job: ServiceJob) -> None:
+        """Enqueue a fresh job unit under its tenant."""
+        state = self._tenant(job.tenant)
+        # An idle tenant re-enters at the current virtual time: fair share
+        # from now on, no catch-up burst for the time it was absent.
+        if not state.heap and state.in_flight == 0:
+            state.vtime = max(state.vtime, self._virtual)
+        job.age_key = float(self._pops - job.priority * self.aging_ticks)
+        job.seq = next(self._seq)
+        heapq.heappush(state.heap, (job.age_key, job.seq, job))
+        state.submitted += 1
+        self._wake()
+
+    def put_nowait(self, job: ServiceJob) -> None:
+        """Accept a job from a dispatch slot (requeue after a worker death).
+
+        Requeued jobs keep their original age key — a death victim does not
+        lose its place in line — and a job cancelled while in flight is
+        dropped (``on_drop``) instead of re-entering: its spec was never
+        acknowledged, and cancelled specs must never run again.
+        """
+        if job.index in self._in_flight:
+            self._release(job)
+        if job.index in self._cancelled:
+            self._cancelled.discard(job.index)
+            self.dropped += 1
+            if self.on_drop is not None:
+                self.on_drop(job)
+            self._wake()  # cap headroom may have freed a waiting getter
+            return
+        state = self._tenant(job.tenant)
+        heapq.heappush(state.heap, (job.age_key, job.seq, job))
+        self._wake()
+
+    def _release(self, job: ServiceJob) -> None:
+        self._in_flight.discard(job.index)
+        state = self._tenants.get(job.tenant)
+        if state is not None and state.in_flight > 0:
+            state.in_flight -= 1
+
+    def task_done(self, job: ServiceJob) -> None:
+        """Mark a popped job finished, freeing its tenant's cap headroom."""
+        if job.index in self._in_flight:
+            self._release(job)
+            self._tenant(job.tenant).completed += 1
+        self._cancelled.discard(job.index)
+        self._wake()
+
+    # ------------------------------------------------------------------
+    def get_nowait(self) -> ServiceJob:
+        """Pop the next job under fair sharing; raises ``QueueEmpty``."""
+        best: Optional[_TenantState] = None
+        for state in self._tenants.values():
+            if not state.eligible():
+                continue
+            if best is None or (state.vtime, state.name) < (best.vtime, best.name):
+                best = state
+        if best is None:
+            raise asyncio.QueueEmpty
+        _, _, job = heapq.heappop(best.heap)
+        best.vtime += 1.0 / best.weight
+        self._virtual = max(self._virtual, best.vtime)
+        best.in_flight += 1
+        best.served += 1
+        self._pops += 1
+        self._in_flight.add(job.index)
+        return job
+
+    async def get(self) -> ServiceJob:
+        """Await the next job under fair sharing."""
+        while True:
+            try:
+                return self.get_nowait()
+            except asyncio.QueueEmpty:
+                pass
+            if self._wakeup is None:
+                self._wakeup = asyncio.Event()
+            self._wakeup.clear()
+            await self._wakeup.wait()
+
+    def qsize(self) -> int:
+        """Total queued (not in-flight) units across all tenants."""
+        return sum(len(state.heap) for state in self._tenants.values())
+
+    def empty(self) -> bool:
+        return self.qsize() == 0
+
+    # ------------------------------------------------------------------
+    def cancel(self, indices: Set[int]) -> List[ServiceJob]:
+        """Cancel job units by index; returns the queued units removed.
+
+        Queued units are removed immediately (and returned so the caller
+        can finalise them); in-flight units are marked so that a requeue
+        after a worker death drops them instead of re-running them.  Units
+        that already finished are unaffected.
+        """
+        removed: List[ServiceJob] = []
+        for state in self._tenants.values():
+            keep = []
+            for entry in state.heap:
+                if entry[2].index in indices:
+                    removed.append(entry[2])
+                else:
+                    keep.append(entry)
+            if len(keep) != len(state.heap):
+                state.heap = keep
+                heapq.heapify(state.heap)
+        for index in indices:
+            if index in self._in_flight:
+                self._cancelled.add(index)
+        self._wake()
+        return removed
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """JSON-friendly queue snapshot for the ``stats`` frame."""
+        return {
+            "queued": self.qsize(),
+            "in_flight": len(self._in_flight),
+            "pops": self._pops,
+            "dropped_cancelled": self.dropped,
+            "tenants": {
+                state.name: {
+                    "queued": len(state.heap),
+                    "in_flight": state.in_flight,
+                    "weight": state.weight,
+                    "cap": state.cap,
+                    "submitted": state.submitted,
+                    "served": state.served,
+                    "completed": state.completed,
+                }
+                for state in sorted(self._tenants.values(), key=lambda s: s.name)
+            },
+        }

@@ -31,5 +31,6 @@ def store_result_bytes(directory):
     return {
         str(path.relative_to(root)): path.read_bytes()
         for path in root.rglob("*.json")
-        if not path.name.startswith(".") and not path.name.endswith(".error.json")
+        if not any(part.startswith(".") for part in path.relative_to(root).parts)
+        and not path.name.endswith(".error.json")
     }
